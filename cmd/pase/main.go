@@ -1,0 +1,155 @@
+// Command pase finds an efficient parallelization strategy for one of the
+// paper's benchmark models and prints it in the style of the paper's
+// Table II, together with its analytic cost and simulated step time.
+//
+// Usage:
+//
+//	pase -model alexnet -gpus 32 -machine 1080ti
+//	pase -model transformer -gpus 16 -machine 2080ti -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pase"
+	"pase/internal/report"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "alexnet", "benchmark model: alexnet, inceptionv3, rnnlm, transformer")
+		gpus    = flag.Int("gpus", 32, "device count p")
+		mach    = flag.String("machine", "1080ti", "machine profile: 1080ti or 2080ti")
+		compare = flag.Bool("compare", false, "also report data-parallel, expert, and MCMC baselines")
+		export  = flag.String("export", "", "write the strategy as JSON to this file")
+	)
+	flag.Parse()
+	if err := run(*model, *gpus, *mach, *compare, *export); err != nil {
+		fmt.Fprintln(os.Stderr, "pase:", err)
+		os.Exit(1)
+	}
+}
+
+func machineFor(name string, p int) (pase.Machine, error) {
+	switch strings.ToLower(name) {
+	case "1080ti":
+		return pase.GTX1080Ti(p), nil
+	case "2080ti":
+		return pase.RTX2080Ti(p), nil
+	default:
+		return pase.Machine{}, fmt.Errorf("unknown machine %q (want 1080ti or 2080ti)", name)
+	}
+}
+
+func run(model string, gpus int, mach string, compare bool, exportPath string) error {
+	bm, err := pase.BenchmarkByName(model)
+	if err != nil {
+		return err
+	}
+	spec, err := machineFor(mach, gpus)
+	if err != nil {
+		return err
+	}
+	g := bm.Build(bm.Batch)
+	m, err := pase.NewModel(g, spec, bm.Policy(gpus))
+	if err != nil {
+		return err
+	}
+	res, err := pase.FindWithModel(m, pase.Options{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s on %d × %s (batch %d)\n", bm.Name, gpus, spec.Name, bm.Batch)
+	fmt.Printf("search time: %s   cost: %.4g FLOP-units   M=%d   states=%d\n\n",
+		report.Duration(res.SearchTime), res.Cost, res.MaxDepSize, res.States)
+
+	tb := &report.Table{
+		Title:  fmt.Sprintf("Best strategy (paper Table II layout, p=%d)", gpus),
+		Header: []string{"Layer", "Dimensions", "Configuration"},
+	}
+	for _, n := range g.Nodes {
+		tb.Add(n.Name, n.Space.Names(), res.Strategy[n.ID].String())
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	step, err := pase.Simulate(g, res.Strategy, spec, bm.Batch)
+	if err != nil {
+		return err
+	}
+	mem, err := pase.MemoryFootprint(g, res.Strategy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsimulated step: %.3f ms  (%.0f samples/s)\n",
+		step.StepSeconds*1e3, step.Throughput)
+	fmt.Printf("per-device memory: %.1f MB (activations %.1f, params %.1f, comm %.1f)\n",
+		mem.Total()/1e6, mem.Activations/1e6, mem.Parameters/1e6, mem.CommBuffers/1e6)
+
+	if exportPath != "" {
+		doc, err := pase.ExportStrategy(bm.Name, g, res.Strategy, gpus, res.Cost)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(exportPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := doc.Write(f); err != nil {
+			return err
+		}
+		fmt.Printf("strategy written to %s\n", exportPath)
+	}
+
+	if !compare {
+		return nil
+	}
+	dp := pase.DataParallelStrategy(g, gpus)
+	exp, err := pase.ExpertStrategy(bm.Family, g, gpus)
+	if err != nil {
+		return err
+	}
+	mc, err := pase.MCMCSearch(m, exp, pase.MCMCOptions{Seed: 1})
+	if err != nil {
+		return err
+	}
+	cmp := &report.Table{
+		Title:  "\nBaseline comparison (simulated throughput)",
+		Header: []string{"Strategy", "Cost (FLOP-units)", "Step (ms)", "Speedup vs DP"},
+	}
+	add := func(name string, s pase.Strategy) error {
+		c, err := pase.StrategyCost(m, s)
+		if err != nil {
+			return err
+		}
+		st, err := pase.Simulate(g, s, spec, bm.Batch)
+		if err != nil {
+			return err
+		}
+		sp, err := pase.SimulatedSpeedup(g, s, dp, spec, bm.Batch)
+		if err != nil {
+			return err
+		}
+		cmp.Add(name, fmt.Sprintf("%.4g", c), fmt.Sprintf("%.3f", st.StepSeconds*1e3), fmt.Sprintf("%.2f", sp))
+		return nil
+	}
+	if err := add("DataParallel", dp); err != nil {
+		return err
+	}
+	if err := add("Expert", exp); err != nil {
+		return err
+	}
+	if err := add("FlexFlow(MCMC)", mc.Strategy); err != nil {
+		return err
+	}
+	if err := add("PaSE", res.Strategy); err != nil {
+		return err
+	}
+	return cmp.Render(os.Stdout)
+}

@@ -1,0 +1,58 @@
+// Clustersweep: sweep device counts and both GPU generations for one model,
+// reproducing a single panel of the paper's Fig. 6 — how the win over data
+// parallelism grows with scale and shrinks with machine balance.
+//
+//	go run ./examples/clustersweep            # Transformer by default
+//	go run ./examples/clustersweep -model rnnlm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pase"
+	"pase/internal/report"
+)
+
+func main() {
+	model := flag.String("model", "transformer", "benchmark model to sweep")
+	flag.Parse()
+
+	bm, err := pase.BenchmarkByName(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := bm.Build(bm.Batch)
+
+	tb := &report.Table{
+		Title: fmt.Sprintf("%s: simulated speedup of PaSE over data parallelism", bm.Name),
+		Header: []string{"p", "1080Ti step (ms)", "1080Ti speedup",
+			"2080Ti step (ms)", "2080Ti speedup"},
+	}
+	for _, p := range []int{4, 8, 16, 32} {
+		row := []any{p}
+		for _, mk := range []func(int) pase.Machine{pase.GTX1080Ti, pase.RTX2080Ti} {
+			spec := mk(p)
+			res, err := pase.Find(g, spec, pase.Options{Policy: bm.Policy(p)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			dp := pase.DataParallelStrategy(g, p)
+			step, err := pase.Simulate(g, res.Strategy, spec, bm.Batch)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sp, err := pase.SimulatedSpeedup(g, res.Strategy, dp, spec, bm.Batch)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, fmt.Sprintf("%.2f", step.StepSeconds*1e3), fmt.Sprintf("%.2fx", sp))
+		}
+		tb.Add(row...)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

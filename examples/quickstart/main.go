@@ -1,0 +1,47 @@
+// Quickstart: find an efficient parallelization strategy for AlexNet on a
+// 32-GPU cluster and compare it against plain data parallelism.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pase"
+)
+
+func main() {
+	// The paper's AlexNet benchmark: batch 128, ImageNet shapes.
+	g := pase.AlexNet(128)
+
+	// Four nodes of eight 1080Ti GPUs, PCIe peer-to-peer inside a node,
+	// InfiniBand between nodes.
+	cluster := pase.GTX1080Ti(32)
+
+	// Run the paper's dependent-set dynamic program.
+	res, err := pase.Find(g, cluster, pase.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found best strategy in %v (M=%d, %d DP states)\n\n",
+		res.SearchTime, res.MaxDepSize, res.States)
+
+	fmt.Println("layer            dims      configuration")
+	for _, n := range g.Nodes {
+		fmt.Printf("%-16s %-9s %v\n", n.Name, n.Space.Names(), res.Strategy[n.ID])
+	}
+
+	// How much faster is it than the standard practice?
+	dp := pase.DataParallelStrategy(g, 32)
+	speedup, err := pase.SimulatedSpeedup(g, res.Strategy, dp, cluster, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := pase.Simulate(g, res.Strategy, cluster, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated step %.2f ms (%.0f images/s) — %.2fx over data parallelism\n",
+		best.StepSeconds*1e3, best.Throughput, speedup)
+}

@@ -1,0 +1,222 @@
+// Package assign implements the paper's Section II device assignment: "a
+// simple greedy assignment that maximizes data locality (i.e., a greedy
+// assignment that maximizes |A(v,d,φ) ∩ A(u,d,φ)|) works sufficiently well
+// in practice."
+//
+// Devices are numbered 0..p-1 with p a power of two; a node's layout assigns
+// disjoint groups of device-index bits to its split iteration dims, so each
+// device owns the hyperrectangular tensor block selected by its bits. The
+// greedy pass walks the graph in topological order and aligns each node's
+// bit groups with its producer's, largest tensor dims first — realizing
+// exactly the alignment the cost model's closed-form tx assumes
+// (DESIGN.md §4.2). EdgeTransfer then measures the true per-device
+// needed-minus-held volume by intersecting blocks, which lets tests verify
+// the closed form against a concrete assignment.
+package assign
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"pase/internal/graph"
+	"pase/internal/itspace"
+)
+
+// Layout assigns device-index bits to a node's iteration dims: BitsOf[d]
+// holds the bit positions (most significant selector first) of iteration dim
+// d. len(BitsOf[d]) == log2(config[d]).
+type Layout struct {
+	BitsOf [][]int
+}
+
+// Assignment holds one layout per node.
+type Assignment struct {
+	P       int
+	Layouts []Layout
+}
+
+// isPow2 reports whether x is a power of two.
+func isPow2(x int) bool { return x > 0 && x&(x-1) == 0 }
+
+// Build computes a greedy locality-maximizing assignment for the strategy on
+// p devices. Every split factor must be a power of two (the experimental
+// regime of the paper: p ∈ {4..64}).
+func Build(g *graph.Graph, s graph.Strategy, p int) (*Assignment, error) {
+	if !isPow2(p) {
+		return nil, fmt.Errorf("assign: p=%d is not a power of two", p)
+	}
+	if err := s.Validate(g, p); err != nil {
+		return nil, err
+	}
+	a := &Assignment{P: p, Layouts: make([]Layout, g.Len())}
+	totalBits := bits.Len(uint(p)) - 1
+
+	for _, v := range g.TopoOrder() {
+		n := g.Nodes[v]
+		cfg := s[v]
+		for _, c := range cfg {
+			if !isPow2(c) {
+				return nil, fmt.Errorf("assign: node %d split %d is not a power of two", v, c)
+			}
+		}
+		layout := Layout{BitsOf: make([][]int, len(n.Space))}
+		used := make([]bool, totalBits)
+		free := func() []int {
+			var f []int
+			for b := 0; b < totalBits; b++ {
+				if !used[b] {
+					f = append(f, b)
+				}
+			}
+			return f
+		}
+
+		// Alignment source: the first producer (if any).
+		var prod *graph.Node
+		var prodLayout Layout
+		var inRef graph.TensorRef
+		if ins := g.In(v); len(ins) > 0 {
+			prod = g.Nodes[ins[0]]
+			prodLayout = a.Layouts[prod.ID]
+			inRef = n.Inputs[0]
+		}
+
+		// Which of v's iteration dims correspond to producer dims through
+		// the edge tensor, and the producer's bits for them.
+		prodBits := map[int][]int{} // v's iter dim -> producer bit positions
+		if prod != nil {
+			for t := range inRef.Map {
+				if t >= len(prod.Output.Map) {
+					break
+				}
+				vd := inRef.Map[t]
+				ud := prod.Output.Map[t]
+				prodBits[vd] = append(prodBits[vd], prodLayout.BitsOf[ud]...)
+			}
+		}
+
+		// Assign bits to dims: dims with producer-alignment preferences
+		// claim their bits first (otherwise an unrelated dim could steal
+		// them), then larger extents first (aligning a bit on a big dim
+		// saves the most volume).
+		order := make([]int, len(n.Space))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool {
+			di, dj := order[i], order[j]
+			ai, aj := len(prodBits[di]) > 0, len(prodBits[dj]) > 0
+			if ai != aj {
+				return ai
+			}
+			if n.Space[di].Size != n.Space[dj].Size {
+				return n.Space[di].Size > n.Space[dj].Size
+			}
+			return di < dj
+		})
+		for _, d := range order {
+			want := bits.Len(uint(cfg[d])) - 1
+			if want == 0 {
+				continue
+			}
+			var chosen []int
+			// Prefer the producer's bits for this dim, in producer order
+			// (most significant selector first ⇒ nesting alignment).
+			for _, b := range prodBits[d] {
+				if len(chosen) == want {
+					break
+				}
+				if !used[b] {
+					chosen = append(chosen, b)
+					used[b] = true
+				}
+			}
+			for _, b := range free() {
+				if len(chosen) == want {
+					break
+				}
+				chosen = append(chosen, b)
+				used[b] = true
+			}
+			if len(chosen) != want {
+				return nil, fmt.Errorf("assign: node %d dim %d needs %d bits, pool exhausted", v, d, want)
+			}
+			layout.BitsOf[d] = chosen
+		}
+		a.Layouts[v] = layout
+	}
+	return a, nil
+}
+
+// interval is a half-open [lo, hi) range of tensor coordinates.
+type interval struct{ lo, hi int64 }
+
+func (iv interval) len() int64 {
+	if iv.hi <= iv.lo {
+		return 0
+	}
+	return iv.hi - iv.lo
+}
+
+func (iv interval) intersect(o interval) interval {
+	if o.lo > iv.lo {
+		iv.lo = o.lo
+	}
+	if o.hi < iv.hi {
+		iv.hi = o.hi
+	}
+	return iv
+}
+
+// Block returns the tensor block (per-tensor-dim intervals, in the node's
+// iteration-dim coordinates) that device holds/needs for the given tensor
+// reference under the layout.
+func (a *Assignment) Block(n *graph.Node, layout Layout, cfg itspace.Config, ref graph.TensorRef, device int) []interval {
+	out := make([]interval, len(ref.Map))
+	for t := range ref.Map {
+		d := ref.Map[t]
+		size := n.Space[d].Size
+		c := int64(cfg[d])
+		part := int64(0)
+		for _, b := range layout.BitsOf[d] {
+			part = part<<1 | int64((device>>uint(b))&1)
+		}
+		ext := size / c
+		lo, hi := part*ext, (part+1)*ext
+		// Clip to the reference window (concat slices).
+		w := interval{ref.Off(t), ref.Off(t) + ref.Extent(n.Space, t)}
+		out[t] = interval{lo, hi}.intersect(w)
+	}
+	return out
+}
+
+// EdgeTransfer computes the exact forward transfer volume (elements) of an
+// edge under the assignment: max over devices of |needed| − |needed ∩ held|,
+// the paper's tx definition (forward direction).
+func (a *Assignment) EdgeTransfer(g *graph.Graph, s graph.Strategy, u, v int) (float64, error) {
+	inIdx := g.InputIndex(u, v)
+	if inIdx < 0 {
+		return 0, fmt.Errorf("assign: no edge (%d, %d)", u, v)
+	}
+	nu, nv := g.Nodes[u], g.Nodes[v]
+	out, in := nu.Output, nv.Inputs[inIdx]
+	worst := 0.0
+	for d := 0; d < a.P; d++ {
+		held := a.Block(nu, a.Layouts[u], s[u], out, d)
+		need := a.Block(nv, a.Layouts[v], s[v], in, d)
+		needVol, bothVol := 1.0, 1.0
+		for t := range need {
+			needVol *= float64(need[t].len())
+			// Align coordinates: producer blocks are in producer iter-dim
+			// coordinates; shift both into tensor coordinates via offsets.
+			h := interval{held[t].lo - out.Off(t), held[t].hi - out.Off(t)}
+			nd := interval{need[t].lo - in.Off(t), need[t].hi - in.Off(t)}
+			bothVol *= float64(nd.intersect(h).len())
+		}
+		if miss := needVol - bothVol; miss > worst {
+			worst = miss
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,162 @@
+package assign
+
+import (
+	"testing"
+
+	"pase/internal/graph"
+	"pase/internal/itspace"
+	"pase/internal/models"
+	"pase/internal/strategies"
+)
+
+func fcChain(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	var prev *graph.Node
+	for i := 0; i < n; i++ {
+		nd := &graph.Node{
+			Name: "fc",
+			Op:   graph.OpFC,
+			Space: itspace.Space{
+				{Name: "b", Size: 128}, {Name: "n", Size: 4096}, {Name: "c", Size: 4096},
+			},
+			Output:        graph.TensorRef{Map: []int{0, 1}},
+			Params:        []graph.TensorRef{{Map: []int{1, 2}, Param: true}},
+			FlopsPerPoint: 2,
+		}
+		if prev != nil {
+			nd.Inputs = []graph.TensorRef{{Map: []int{0, 2}}}
+		}
+		g.AddNode(nd)
+		if prev != nil {
+			g.AddEdge(prev, nd)
+		}
+		prev = nd
+	}
+	return g
+}
+
+func TestBuildRejectsNonPow2(t *testing.T) {
+	g := fcChain(t, 2)
+	s := graph.Strategy{itspace.Config{1, 1, 1}, itspace.Config{1, 1, 1}}
+	if _, err := Build(g, s, 12); err == nil {
+		t.Fatal("p=12 accepted")
+	}
+}
+
+func TestIdenticalShardingTransfersNothing(t *testing.T) {
+	g := fcChain(t, 2)
+	s := graph.Strategy{itspace.Config{8, 1, 1}, itspace.Config{8, 1, 1}}
+	a, err := Build(g, s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := a.EdgeTransfer(g, s, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx != 0 {
+		t.Fatalf("identical sharding transfers %v elements", tx)
+	}
+}
+
+func TestAlternatingFCPatternTransfersNothing(t *testing.T) {
+	// The paper's §IV.C observation, realized by a concrete assignment:
+	// (1,4,8) feeding (1,8,4) needs no inter-layer communication because
+	// the producer's n-split bits and the consumer's c-split bits align.
+	g := fcChain(t, 2)
+	s := graph.Strategy{itspace.Config{1, 4, 8}, itspace.Config{1, 8, 4}}
+	a, err := Build(g, s, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := a.EdgeTransfer(g, s, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx != 0 {
+		t.Fatalf("alternating FC pattern transfers %v elements under greedy assignment", tx)
+	}
+}
+
+func TestAllGatherVolumeMatchesClosedForm(t *testing.T) {
+	// Producer splits n p-ways, consumer replicates: each device needs the
+	// full tensor and holds 1/p of it: (1 - 1/p)·|T| forward volume.
+	g := fcChain(t, 2)
+	p := 8
+	s := graph.Strategy{itspace.Config{1, 8, 1}, itspace.Config{1, 1, 1}}
+	a, err := Build(g, s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := a.EdgeTransfer(g, s, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := 128.0 * 4096
+	want := vol - vol/float64(p)
+	if tx != want {
+		t.Fatalf("all-gather volume %v, want %v", tx, want)
+	}
+}
+
+func TestOrthogonalSplitsMatchClosedForm(t *testing.T) {
+	// Producer splits batch, consumer splits channels: the worst device
+	// holds 1/p² of what it needs (DESIGN.md §4.2 worked example).
+	g := fcChain(t, 2)
+	p := 4
+	s := graph.Strategy{itspace.Config{4, 1, 1}, itspace.Config{1, 1, 4}}
+	a, err := Build(g, s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := a.EdgeTransfer(g, s, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := 128.0 * 4096
+	want := vol/float64(p) - vol/float64(p*p)
+	if tx != want {
+		t.Fatalf("orthogonal transfer %v, want %v", tx, want)
+	}
+}
+
+func TestRefinementNeedsNoForwardTransfer(t *testing.T) {
+	// Consumer refines the producer's split along the same dim: nesting
+	// alignment puts every consumer block inside a held producer block.
+	g := fcChain(t, 2)
+	s := graph.Strategy{itspace.Config{2, 1, 1}, itspace.Config{8, 1, 1}}
+	a, err := Build(g, s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := a.EdgeTransfer(g, s, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx != 0 {
+		t.Fatalf("refinement transfers %v elements", tx)
+	}
+}
+
+func TestBuildOnRealModelStrategies(t *testing.T) {
+	// The assignment must be constructible for full-model strategies.
+	g := models.AlexNet(128)
+	for _, p := range []int{4, 8, 32} {
+		s := strategies.DataParallel(g, p)
+		a, err := Build(g, s, p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		// DP shards every edge identically: no transfers anywhere.
+		for _, e := range g.Edges() {
+			tx, err := a.EdgeTransfer(g, s, e[0], e[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tx != 0 {
+				t.Fatalf("p=%d edge %v: DP transfer %v != 0", p, e, tx)
+			}
+		}
+	}
+}

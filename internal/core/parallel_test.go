@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pase/internal/cost"
+	"pase/internal/itspace"
+	"pase/internal/machine"
+	"pase/internal/models"
+)
+
+// The parallel table fill must be byte-identical to the serial one: same
+// minimum cost AND same extracted strategy (tie-breaking preserved).
+func TestParallelSolverMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		g := randomDNNGraph(rng, 5+rng.Intn(5))
+		for _, workers := range []int{2, 4, 8} {
+			m1 := newModel(t, g, 8)
+			serial, err := FindBestStrategy(m1, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2 := newModel(t, g, 8)
+			par, err := FindBestStrategy(m2, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Cost != par.Cost {
+				t.Fatalf("workers=%d: cost %v != serial %v", workers, par.Cost, serial.Cost)
+			}
+			for v := range serial.Idx {
+				if serial.Idx[v] != par.Idx[v] {
+					t.Fatalf("workers=%d node %d: config %d != serial %d",
+						workers, v, par.Idx[v], serial.Idx[v])
+				}
+			}
+		}
+	}
+}
+
+// Race check on a real model (run under -race in CI): the parallel fill
+// shares only read-only state across goroutines.
+func TestParallelSolverOnInception(t *testing.T) {
+	g := models.InceptionV3(128)
+	m, err := cost.NewModel(g, machine.GTX1080Ti(8), itspace.EnumPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := FindBestStrategy(m, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := cost.NewModel(g, machine.GTX1080Ti(8), itspace.EnumPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := FindBestStrategy(m2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Cost != ser.Cost {
+		t.Fatalf("parallel %v != serial %v", par.Cost, ser.Cost)
+	}
+}

@@ -1,0 +1,396 @@
+// Package core implements the PaSE dynamic program: FINDBESTSTRATEGY (paper
+// Fig. 4) over recurrence (4), computing the minimum-cost parallelization
+// strategy φ̂ = argmin F(G, φ) for a computation graph under the analytic
+// cost model of package cost.
+//
+// The same DP engine runs over any vertex ordering: with GENERATESEQ it is
+// the paper's efficient algorithm; with a breadth-first ordering it is the
+// naive Section III-A baseline (recurrence 2), whose dependent sets explode
+// on graphs like InceptionV3 — the engine then fails with ErrOOM exactly as
+// the paper's Table I reports.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"pase/internal/cost"
+	"pase/internal/graph"
+	"pase/internal/seq"
+)
+
+// ErrOOM is returned when the DP tables would exceed the configured memory
+// budget, mirroring the paper's OOM entries for breadth-first ordering on
+// InceptionV3 and Transformer.
+var ErrOOM = errors.New("core: dependent-set DP tables exceed memory budget")
+
+// Options tunes the solver.
+type Options struct {
+	// MaxTableEntries bounds the total number of DP table entries across
+	// all vertices (each entry is a float64 cost plus an int32 choice).
+	// Zero selects the default of 1<<24 (~200 MB).
+	MaxTableEntries int64
+	// Workers sets the number of goroutines filling each vertex's DP table
+	// (the φ iterations of recurrence 4 are independent). Zero or one runs
+	// serially, matching the paper's single-threaded prototype; results are
+	// byte-identical at any worker count.
+	Workers int
+}
+
+func (o Options) maxEntries() int64 {
+	if o.MaxTableEntries > 0 {
+		return o.MaxTableEntries
+	}
+	return 1 << 24
+}
+
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+// Stats reports the work the solver performed.
+type Stats struct {
+	// MaxDepSize is M, the largest dependent set of the ordering used.
+	MaxDepSize int
+	// MaxTable is the largest single DP table (Π K over one dependent set).
+	MaxTable int64
+	// TotalEntries is the summed size of all DP tables.
+	TotalEntries int64
+	// States is the number of (φ, C) combinations evaluated.
+	States int64
+}
+
+// Result is a solved strategy.
+type Result struct {
+	// Cost is R_V(|V|, ∅) = min_φ F(G, φ) in FLOP units.
+	Cost float64
+	// Idx holds the chosen configuration index of every node.
+	Idx []int
+	// Strategy is the materialized best strategy.
+	Strategy graph.Strategy
+	// Seq is the vertex ordering the DP ran over.
+	Seq   *seq.Sequence
+	Stats Stats
+}
+
+// FindBestStrategy runs the paper's FINDBESTSTRATEGY: GENERATESEQ ordering
+// followed by the dependent-set dynamic program.
+func FindBestStrategy(m *cost.Model, opts Options) (*Result, error) {
+	return Solve(m, seq.Generate(m.G), opts)
+}
+
+// NaiveBF runs the Section III-A baseline: the same recurrence over a
+// breadth-first ordering, whose dependent sets are the naive DB(i).
+func NaiveBF(m *cost.Model, opts Options) (*Result, error) {
+	return Solve(m, seq.BFS(m.G), opts)
+}
+
+// subsetRef describes how to compute the flat table index of one connected
+// subset's representative vertex v(j) from the current (φ, C) digits.
+type subsetRef struct {
+	pos int // position j of the subset's last vertex
+	// For each member of D(j), in v(j)'s table-digit order: the source of
+	// its configuration index in the current context.
+	srcDigit []int   // index into φ digits, or -1 when the source is C
+	stride   []int64 // mixed-radix stride within v(j)'s table
+}
+
+// Solve runs the dependent-set DP over an arbitrary ordering. The ordering's
+// dependent sets must be the definitional D(i) (seq.Generate and seq.BFS /
+// seq.FromOrder both guarantee this).
+func Solve(m *cost.Model, sq *seq.Sequence, opts Options) (*Result, error) {
+	g := m.G
+	n := g.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	if len(sq.Order) != n {
+		return nil, fmt.Errorf("core: ordering covers %d of %d vertices", len(sq.Order), n)
+	}
+
+	budget := opts.maxEntries()
+	var st Stats
+	st.MaxDepSize = sq.MaxDepSize()
+
+	tbl := make([][]float64, n)  // per position
+	choice := make([][]int32, n) // argmin config per (position, φ)
+	subsets := make([][][]int, n)
+
+	// Directed edges incident to each node.
+	type incEdge struct {
+		e     int
+		other int
+		vIsU  bool // true when the solver's vertex is the edge's producer
+	}
+	inc := make([][]incEdge, n)
+	for e, uv := range m.Edges() {
+		inc[uv[0]] = append(inc[uv[0]], incEdge{e, uv[1], true})
+		inc[uv[1]] = append(inc[uv[1]], incEdge{e, uv[0], false})
+	}
+
+	for i := 0; i < n; i++ {
+		v := sq.Order[i]
+		dep := sq.Dep[i] // node IDs sorted by position, all after i
+		kd := make([]int, len(dep))
+		digitOf := map[int]int{}
+		tblSize := int64(1)
+		for k, d := range dep {
+			kd[k] = m.K(d)
+			digitOf[d] = k
+			tblSize *= int64(kd[k])
+			if tblSize > budget {
+				return nil, fmt.Errorf("%w: table for vertex %d needs >%d entries", ErrOOM, v, budget)
+			}
+		}
+		st.TotalEntries += tblSize
+		if st.TotalEntries > budget {
+			return nil, fmt.Errorf("%w: cumulative tables exceed %d entries", ErrOOM, budget)
+		}
+		if tblSize > st.MaxTable {
+			st.MaxTable = tblSize
+		}
+
+		// Connected subsets S(i) and their lookup wiring.
+		subs := seq.ConnectedSubsets(g, sq, i)
+		subsets[i] = subs
+		refs := make([]subsetRef, len(subs))
+		for si, sub := range subs {
+			jPos := sq.Pos[sub[len(sub)-1]]
+			dj := sq.Dep[jPos]
+			r := subsetRef{pos: jPos, srcDigit: make([]int, len(dj)), stride: make([]int64, len(dj))}
+			stride := int64(1)
+			for k := len(dj) - 1; k >= 0; k-- {
+				r.stride[k] = stride
+				stride *= int64(m.K(dj[k]))
+				if dj[k] == v {
+					r.srcDigit[k] = -1
+				} else {
+					dg, ok := digitOf[dj[k]]
+					if !ok {
+						return nil, fmt.Errorf("core: D(%d) member %d not in D(%d) ∪ {v(%d)}: ordering's dependent sets are inconsistent", jPos, dj[k], i, i)
+					}
+					r.srcDigit[k] = dg
+				}
+			}
+			refs[si] = r
+		}
+
+		// Incident edges to later vertices; those endpoints are all in D(i).
+		var later []incEdge
+		laterDigit := make([]int, 0, len(inc[v]))
+		for _, ie := range inc[v] {
+			if sq.Pos[ie.other] > i {
+				dg, ok := digitOf[ie.other]
+				if !ok {
+					return nil, fmt.Errorf("core: later neighbour %d of %d missing from D(%d)", ie.other, v, i)
+				}
+				later = append(later, ie)
+				laterDigit = append(laterDigit, dg)
+			}
+		}
+
+		kv := m.K(v)
+		t := make([]float64, tblSize)
+		ch := make([]int32, tblSize)
+
+		// Materialize later-edge cost tables up front: the parallel fill
+		// below then only reads plain slices (Model.EdgeCost memoizes
+		// lazily and is not safe for concurrent use).
+		type edgeTab struct {
+			vals   []float64 // [c*kOther + otherConfig]
+			kOther int
+			digit  int
+		}
+		etabs := make([]edgeTab, len(later))
+		for li, ie := range later {
+			kOther := m.K(ie.other)
+			vals := make([]float64, kv*kOther)
+			for c := 0; c < kv; c++ {
+				for oc := 0; oc < kOther; oc++ {
+					if ie.vIsU {
+						vals[c*kOther+oc] = m.EdgeCost(ie.e, c, oc)
+					} else {
+						vals[c*kOther+oc] = m.EdgeCost(ie.e, oc, c)
+					}
+				}
+			}
+			etabs[li] = edgeTab{vals: vals, kOther: kOther, digit: laterDigit[li]}
+		}
+
+		// fill computes RV(i, φ) for the flat-index range [lo, hi). Ranges
+		// are disjoint and all shared state (tl, edge tables, earlier
+		// vertices' DP tables) is read-only, so chunks run in parallel with
+		// byte-identical results at any worker count.
+		fill := func(lo, hi int64) {
+			digits := make([]int, len(dep))
+			rem := lo
+			for k := len(dep) - 1; k >= 0; k-- {
+				digits[k] = int(rem % int64(kd[k]))
+				rem /= int64(kd[k])
+			}
+			for flat := lo; flat < hi; flat++ {
+				best := math.Inf(1)
+				bestC := int32(0)
+				for c := 0; c < kv; c++ {
+					cst := m.TL(v, c)
+					for li := range etabs {
+						et := &etabs[li]
+						cst += et.vals[c*et.kOther+digits[et.digit]]
+						if cst >= best {
+							break
+						}
+					}
+					if cst < best {
+						for _, r := range refs {
+							idx := int64(0)
+							for k, src := range r.srcDigit {
+								if src < 0 {
+									idx += int64(c) * r.stride[k]
+								} else {
+									idx += int64(digits[src]) * r.stride[k]
+								}
+							}
+							cst += tbl[r.pos][idx]
+							if cst >= best {
+								break
+							}
+						}
+					}
+					if cst < best {
+						best = cst
+						bestC = int32(c)
+					}
+				}
+				t[flat] = best
+				ch[flat] = bestC
+
+				// Odometer increment (last digit fastest).
+				for k := len(digits) - 1; k >= 0; k-- {
+					digits[k]++
+					if digits[k] < kd[k] {
+						break
+					}
+					digits[k] = 0
+				}
+			}
+		}
+
+		if nw := opts.workers(); nw > 1 && tblSize >= 4096 {
+			var wg sync.WaitGroup
+			chunk := (tblSize + int64(nw) - 1) / int64(nw)
+			for w := 0; w < nw; w++ {
+				lo := int64(w) * chunk
+				hi := lo + chunk
+				if hi > tblSize {
+					hi = tblSize
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(lo, hi int64) {
+					defer wg.Done()
+					fill(lo, hi)
+				}(lo, hi)
+			}
+			wg.Wait()
+		} else {
+			fill(0, tblSize)
+		}
+		st.States += tblSize * int64(kv)
+		tbl[i] = t
+		choice[i] = ch
+	}
+
+	// Extract the strategy by back-substitution from v(|V|) with φ = ∅.
+	idx := make([]int, n)
+	assigned := make([]bool, n)
+	var walk func(pos int) error
+	walk = func(pos int) error {
+		v := sq.Order[pos]
+		dj := sq.Dep[pos]
+		flat := int64(0)
+		stride := int64(1)
+		for k := len(dj) - 1; k >= 0; k-- {
+			if !assigned[dj[k]] {
+				return fmt.Errorf("core: back-substitution reached %d before its dependent %d", v, dj[k])
+			}
+			flat += int64(idx[dj[k]]) * stride
+			stride *= int64(m.K(dj[k]))
+		}
+		idx[v] = int(choice[pos][flat])
+		assigned[v] = true
+		for _, sub := range subsets[pos] {
+			if err := walk(sq.Pos[sub[len(sub)-1]]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(n - 1); err != nil {
+		return nil, err
+	}
+	for v := 0; v < n; v++ {
+		if !assigned[v] {
+			return nil, fmt.Errorf("core: back-substitution left node %d unassigned (graph not weakly connected?)", v)
+		}
+	}
+
+	res := &Result{
+		Cost:     tbl[n-1][0],
+		Idx:      idx,
+		Strategy: m.StrategyFromIdx(idx),
+		Seq:      sq,
+		Stats:    st,
+	}
+	// Theorem 1 consistency: the extracted strategy must realize the DP
+	// minimum. Guard against wiring bugs rather than silently returning an
+	// inconsistent pair.
+	if ev := m.EvalIdx(idx); math.Abs(ev-res.Cost) > 1e-6*math.Max(1, math.Abs(ev)) {
+		return nil, fmt.Errorf("core: extracted strategy costs %v but DP minimum is %v", ev, res.Cost)
+	}
+	return res, nil
+}
+
+// BruteForce exhaustively enumerates every strategy. It is exponential and
+// intended only for validating the DP on small graphs.
+func BruteForce(m *cost.Model) (*Result, error) {
+	n := m.G.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	total := int64(1)
+	for v := 0; v < n; v++ {
+		total *= int64(m.K(v))
+		if total > 200_000_000 {
+			return nil, fmt.Errorf("core: brute force space too large")
+		}
+	}
+	idx := make([]int, n)
+	best := math.Inf(1)
+	bestIdx := make([]int, n)
+	for it := int64(0); it < total; it++ {
+		if c := m.EvalIdx(idx); c < best {
+			best = c
+			copy(bestIdx, idx)
+		}
+		for k := n - 1; k >= 0; k-- {
+			idx[k]++
+			if idx[k] < m.K(k) {
+				break
+			}
+			idx[k] = 0
+		}
+	}
+	return &Result{
+		Cost:     best,
+		Idx:      bestIdx,
+		Strategy: m.StrategyFromIdx(bestIdx),
+		Stats:    Stats{States: total},
+	}, nil
+}

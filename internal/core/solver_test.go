@@ -1,0 +1,261 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pase/internal/cost"
+	"pase/internal/graph"
+	"pase/internal/itspace"
+	"pase/internal/machine"
+	"pase/internal/seq"
+)
+
+// randomDNNGraph builds a random connected DAG of FC-like layers with
+// power-of-two extents, giving the cost model genuine structure (reduction
+// dims, parameters, redistribution) so optimality tests are meaningful.
+func randomDNNGraph(rng *rand.Rand, n int) *graph.Graph {
+	g := graph.New()
+	sizes := []int64{16, 32, 64, 128}
+	for i := 0; i < n; i++ {
+		sp := itspace.Space{
+			{Name: "b", Size: sizes[rng.Intn(len(sizes))]},
+			{Name: "n", Size: sizes[rng.Intn(len(sizes))]},
+			{Name: "c", Size: sizes[rng.Intn(len(sizes))]},
+		}
+		g.AddNode(&graph.Node{
+			Name:          "fc",
+			Op:            graph.OpFC,
+			Space:         sp,
+			Output:        graph.TensorRef{Map: []int{0, 1}},
+			Params:        []graph.TensorRef{{Map: []int{1, 2}, Param: true}},
+			FlopsPerPoint: 2,
+		})
+	}
+	for i := 1; i < n; i++ {
+		// Connect to one earlier node, sometimes two (branch/join shapes).
+		parents := []int{rng.Intn(i)}
+		if i >= 2 && rng.Intn(3) == 0 {
+			p2 := rng.Intn(i)
+			if p2 != parents[0] {
+				parents = append(parents, p2)
+			}
+		}
+		for _, p := range parents {
+			g.Nodes[i].Inputs = append(g.Nodes[i].Inputs, graph.TensorRef{Map: []int{0, 2}})
+			g.AddEdge(g.Nodes[p], g.Nodes[i])
+		}
+	}
+	return g
+}
+
+func newModel(t testing.TB, g *graph.Graph, p int) *cost.Model {
+	t.Helper()
+	m, err := cost.NewModel(g, machine.Uniform(p, 1e12, 1e10), itspace.EnumPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDPEqualsBruteForceOnPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomDNNGraph(rng, 4)
+	m := newModel(t, g, 4)
+
+	dp, err := FindBestStrategy(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := BruteForce(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dp.Cost-bf.Cost) > 1e-6*bf.Cost {
+		t.Fatalf("DP cost %v != brute force %v", dp.Cost, bf.Cost)
+	}
+}
+
+// The central correctness anchor: on random graphs the efficient DP
+// (GENERATESEQ ordering), the naive breadth-first DP, and exhaustive brute
+// force must all find the same minimum cost.
+func TestDPOptimalityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDNNGraph(rng, 3+rng.Intn(3))
+		m, err := cost.NewModel(g, machine.Uniform(4, 1e12, 1e10), itspace.EnumPolicy{})
+		if err != nil {
+			return false
+		}
+		dp, err := FindBestStrategy(m, Options{})
+		if err != nil {
+			return false
+		}
+		nv, err := NaiveBF(m, Options{})
+		if err != nil {
+			return false
+		}
+		bf, err := BruteForce(m)
+		if err != nil {
+			return false
+		}
+		tol := 1e-6 * math.Max(1, bf.Cost)
+		return math.Abs(dp.Cost-bf.Cost) <= tol && math.Abs(nv.Cost-bf.Cost) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDPExtractedStrategyRealizesCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		g := randomDNNGraph(rng, 5+rng.Intn(4))
+		m := newModel(t, g, 8)
+		res, err := FindBestStrategy(m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Strategy.Validate(g, 8); err != nil {
+			t.Fatalf("invalid strategy: %v", err)
+		}
+		ev := m.EvalIdx(res.Idx)
+		if math.Abs(ev-res.Cost) > 1e-6*math.Max(1, ev) {
+			t.Fatalf("strategy cost %v != DP cost %v", ev, res.Cost)
+		}
+	}
+}
+
+func TestDPLowerBoundsRandomStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomDNNGraph(rng, 7)
+	m := newModel(t, g, 8)
+	res, err := FindBestStrategy(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int, g.Len())
+	for trial := 0; trial < 500; trial++ {
+		for v := range idx {
+			idx[v] = rng.Intn(m.K(v))
+		}
+		if c := m.EvalIdx(idx); c < res.Cost-1e-6*res.Cost {
+			t.Fatalf("random strategy %v beats DP minimum %v", c, res.Cost)
+		}
+	}
+}
+
+func TestDPBeatsOrMatchesDataParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomDNNGraph(rng, 8)
+	m := newModel(t, g, 16)
+	res, err := FindBestStrategy(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpIdx, err := m.DataParallelIdx("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dpCost := m.EvalIdx(dpIdx); res.Cost > dpCost+1e-9 {
+		t.Fatalf("solver cost %v worse than data parallelism %v", res.Cost, dpCost)
+	}
+}
+
+func TestOOMGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomDNNGraph(rng, 8)
+	m := newModel(t, g, 8)
+	_, err := FindBestStrategy(m, Options{MaxTableEntries: 2})
+	if !errors.Is(err, ErrOOM) {
+		t.Fatalf("want ErrOOM, got %v", err)
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomDNNGraph(rng, 4)
+	m := newModel(t, g, 4)
+	if _, err := Solve(m, &seq.Sequence{Order: []int{0}}, Options{}); err == nil {
+		t.Fatal("short ordering accepted")
+	}
+	empty := graph.New()
+	if _, err := BruteForce(&cost.Model{G: empty}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomDNNGraph(rng, 6)
+	m := newModel(t, g, 8)
+	res, err := FindBestStrategy(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.States <= 0 || res.Stats.TotalEntries <= 0 || res.Stats.MaxTable <= 0 {
+		t.Fatalf("stats not populated: %+v", res.Stats)
+	}
+	if res.Stats.MaxDepSize != res.Seq.MaxDepSize() {
+		t.Fatalf("MaxDepSize mismatch")
+	}
+}
+
+func TestSingleNodeGraph(t *testing.T) {
+	g := graph.New()
+	g.AddNode(&graph.Node{
+		Name:          "fc",
+		Space:         itspace.Space{{Name: "b", Size: 64}, {Name: "n", Size: 64}, {Name: "c", Size: 64}},
+		Output:        graph.TensorRef{Map: []int{0, 1}},
+		Params:        []graph.TensorRef{{Map: []int{1, 2}, Param: true}},
+		FlopsPerPoint: 2,
+	})
+	m := newModel(t, g, 4)
+	res, err := FindBestStrategy(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, _ := BruteForce(m)
+	if math.Abs(res.Cost-bf.Cost) > 1e-9*bf.Cost {
+		t.Fatalf("single node: %v vs %v", res.Cost, bf.Cost)
+	}
+}
+
+func TestDiamondGraph(t *testing.T) {
+	// 0 -> {1, 2} -> 3: S(i) with two connected subsets at the join.
+	g := graph.New()
+	mk := func(ins int) *graph.Node {
+		nd := &graph.Node{
+			Name:          "fc",
+			Space:         itspace.Space{{Name: "b", Size: 64}, {Name: "n", Size: 64}, {Name: "c", Size: 64}},
+			Output:        graph.TensorRef{Map: []int{0, 1}},
+			Params:        []graph.TensorRef{{Map: []int{1, 2}, Param: true}},
+			FlopsPerPoint: 2,
+		}
+		for k := 0; k < ins; k++ {
+			nd.Inputs = append(nd.Inputs, graph.TensorRef{Map: []int{0, 2}})
+		}
+		return nd
+	}
+	n0, n1, n2, n3 := g.AddNode(mk(0)), g.AddNode(mk(1)), g.AddNode(mk(1)), g.AddNode(mk(2))
+	g.AddEdge(n0, n1)
+	g.AddEdge(n0, n2)
+	g.AddEdge(n1, n3)
+	g.AddEdge(n2, n3)
+
+	m := newModel(t, g, 4)
+	dp, err := FindBestStrategy(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := BruteForce(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dp.Cost-bf.Cost) > 1e-6*bf.Cost {
+		t.Fatalf("diamond: DP %v != brute %v", dp.Cost, bf.Cost)
+	}
+}

@@ -1,0 +1,249 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"pase/internal/graph"
+	"pase/internal/itspace"
+	"pase/internal/machine"
+)
+
+// Model binds a computation graph to a machine spec and memoizes every layer
+// and edge cost the strategy search needs. The dynamic program, the MCMC
+// search, and the exhaustive baselines all evaluate strategies through one
+// Model, so they rank candidates under the identical cost function.
+//
+// Costs are in seconds of estimated per-step time (pricing.go): the sum of
+// a strategy's layer and edge costs equals the simulator's step time minus
+// the constant framework overhead, so cost-model rankings carry over to
+// simulated throughput exactly.
+type Model struct {
+	G    *graph.Graph
+	Spec machine.Spec
+	// Policy controls configuration enumeration.
+	Policy itspace.EnumPolicy
+
+	r    float64
+	cfgs [][]itspace.Config // per node
+	tl   [][]float64        // [node][cfgIdx], eager
+	tx   [][]float64        // [edge][cu*Kv+cv], lazy per entry (NaN = unset)
+
+	edges   [][2]int
+	edgeIdx map[[2]int]int
+	inSlot  []int // input slot of v fed by each edge
+}
+
+// NewModel enumerates configurations and precomputes layer costs for the
+// graph on the given machine.
+func NewModel(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy) (*Model, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		G:       g,
+		Spec:    spec,
+		Policy:  pol,
+		r:       spec.R(),
+		cfgs:    make([][]itspace.Config, g.Len()),
+		tl:      make([][]float64, g.Len()),
+		edgeIdx: map[[2]int]int{},
+	}
+	for _, n := range g.Nodes {
+		cs := itspace.Enumerate(n.Space, spec.Devices, pol)
+		if len(cs) == 0 {
+			return nil, fmt.Errorf("cost: node %d (%s) admits no configuration", n.ID, n.Name)
+		}
+		m.cfgs[n.ID] = cs
+		tl := make([]float64, len(cs))
+		for i, c := range cs {
+			tl[i] = TLSeconds(n, c, spec)
+		}
+		m.tl[n.ID] = tl
+	}
+	m.edges = g.Edges()
+	m.tx = make([][]float64, len(m.edges))
+	m.inSlot = make([]int, len(m.edges))
+	for i, e := range m.edges {
+		m.edgeIdx[e] = i
+		m.inSlot[i] = g.InputIndex(e[0], e[1])
+	}
+	return m, nil
+}
+
+// P returns the device count.
+func (m *Model) P() int { return m.Spec.Devices }
+
+// R returns the FLOP-to-byte ratio used by the model.
+func (m *Model) R() float64 { return m.r }
+
+// Configs returns the configuration list of node v (do not mutate).
+func (m *Model) Configs(v int) []itspace.Config { return m.cfgs[v] }
+
+// K returns the number of configurations of node v.
+func (m *Model) K(v int) int { return len(m.cfgs[v]) }
+
+// MaxK returns the paper's K: the maximum configuration count over all nodes.
+func (m *Model) MaxK() int {
+	k := 0
+	for v := range m.cfgs {
+		if len(m.cfgs[v]) > k {
+			k = len(m.cfgs[v])
+		}
+	}
+	return k
+}
+
+// IndexOf returns the index of cfg within node v's configuration list, or -1.
+func (m *Model) IndexOf(v int, cfg itspace.Config) int {
+	for i, c := range m.cfgs[v] {
+		if c.Equal(cfg) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TL returns the memoized layer cost of node v under its ci-th configuration.
+func (m *Model) TL(v, ci int) float64 { return m.tl[v][ci] }
+
+// Edges returns the directed edge list in the model's canonical order.
+func (m *Model) Edges() [][2]int { return m.edges }
+
+// EdgeCost returns r·tx for edge e (model edge index) when the producer runs
+// its cu-th configuration and the consumer its cv-th. Values are memoized on
+// first use.
+func (m *Model) EdgeCost(e, cu, cv int) float64 {
+	u, v := m.edges[e][0], m.edges[e][1]
+	kv := len(m.cfgs[v])
+	tab := m.tx[e]
+	if tab == nil {
+		tab = make([]float64, len(m.cfgs[u])*kv)
+		for i := range tab {
+			tab[i] = math.NaN()
+		}
+		m.tx[e] = tab
+	}
+	idx := cu*kv + cv
+	if c := tab[idx]; !math.IsNaN(c) {
+		return c
+	}
+	nu, nv := m.G.Nodes[u], m.G.Nodes[v]
+	c := TXSeconds(nu, nv, m.inSlot[e], m.cfgs[u][cu], m.cfgs[v][cv], m.Spec)
+	tab[idx] = c
+	return c
+}
+
+// EdgeCostNodes is EdgeCost addressed by node IDs.
+func (m *Model) EdgeCostNodes(u, v, cu, cv int) float64 {
+	return m.EdgeCost(m.edgeIdx[[2]int{u, v}], cu, cv)
+}
+
+// EvalIdx computes F(G, φ) for a strategy given as per-node configuration
+// indices.
+func (m *Model) EvalIdx(idx []int) float64 {
+	total := 0.0
+	for v := range m.tl {
+		total += m.tl[v][idx[v]]
+	}
+	for e, uv := range m.edges {
+		total += m.EdgeCost(e, idx[uv[0]], idx[uv[1]])
+	}
+	return total
+}
+
+// Eval computes F(G, φ) for a full strategy. Configurations not in the
+// enumerated list (possible for hand-written expert strategies under a
+// restrictive policy) are costed directly without memoization.
+func (m *Model) Eval(s graph.Strategy) (float64, error) {
+	if err := s.Validate(m.G, m.Spec.Devices); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, n := range m.G.Nodes {
+		total += TLSeconds(n, s[n.ID], m.Spec)
+	}
+	for e, uv := range m.edges {
+		u, v := uv[0], uv[1]
+		total += TXSeconds(m.G.Nodes[u], m.G.Nodes[v], m.inSlot[e], s[u], s[v], m.Spec)
+	}
+	return total, nil
+}
+
+// NodeDelta returns the change in F when node v moves from configuration
+// index oldC to newC with the rest of the strategy fixed — the cheap
+// neighbourhood evaluation the MCMC search uses (paper §II: a configuration
+// change only affects the node's own layer cost and its incident edges).
+func (m *Model) NodeDelta(idx []int, v, oldC, newC int) float64 {
+	d := m.tl[v][newC] - m.tl[v][oldC]
+	for e, uv := range m.edges {
+		switch {
+		case uv[0] == v && uv[1] == v:
+			d += m.EdgeCost(e, newC, newC) - m.EdgeCost(e, oldC, oldC)
+		case uv[0] == v:
+			d += m.EdgeCost(e, newC, idx[uv[1]]) - m.EdgeCost(e, oldC, idx[uv[1]])
+		case uv[1] == v:
+			d += m.EdgeCost(e, idx[uv[0]], newC) - m.EdgeCost(e, idx[uv[0]], oldC)
+		}
+	}
+	return d
+}
+
+// StrategyFromIdx materializes configuration indices into a Strategy.
+func (m *Model) StrategyFromIdx(idx []int) graph.Strategy {
+	s := make(graph.Strategy, len(idx))
+	for v, ci := range idx {
+		s[v] = m.cfgs[v][ci].Clone()
+	}
+	return s
+}
+
+// IdxFromStrategy converts a strategy into configuration indices; it errors
+// if some node's configuration is not in the enumerated list.
+func (m *Model) IdxFromStrategy(s graph.Strategy) ([]int, error) {
+	idx := make([]int, len(s))
+	for v := range s {
+		ci := m.IndexOf(v, s[v])
+		if ci < 0 {
+			return nil, fmt.Errorf("cost: node %d config %v not in enumerated list", v, s[v])
+		}
+		idx[v] = ci
+	}
+	return idx, nil
+}
+
+// DataParallelIdx returns the pure data-parallel strategy (batch dim named
+// batchName split as far as possible on every node) as configuration indices.
+func (m *Model) DataParallelIdx(batchName string) ([]int, error) {
+	idx := make([]int, m.G.Len())
+	for _, n := range m.G.Nodes {
+		dp := itspace.DataParallel(n.Space, m.Spec.Devices, batchName)
+		ci := m.IndexOf(n.ID, dp)
+		if ci < 0 {
+			return nil, fmt.Errorf("cost: node %d (%s) data-parallel config %v not enumerable", n.ID, n.Name, dp)
+		}
+		idx[n.ID] = ci
+	}
+	return idx, nil
+}
+
+// PaperEval computes the paper's original Eq. 1 cost F(G, φ) in FLOP units
+// (layer FLOPs plus r times communication bytes), for comparison with the
+// default seconds-based pricing.
+func (m *Model) PaperEval(s graph.Strategy) (float64, error) {
+	if err := s.Validate(m.G, m.Spec.Devices); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, n := range m.G.Nodes {
+		total += TL(n, s[n.ID], m.r)
+	}
+	for e, uv := range m.edges {
+		u, v := uv[0], uv[1]
+		total += m.r * TXBytes(m.G.Nodes[u], m.G.Nodes[v], m.inSlot[e], s[u], s[v])
+	}
+	return total, nil
+}

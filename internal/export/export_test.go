@@ -1,0 +1,90 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pase/internal/models"
+	"pase/internal/strategies"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g := models.AlexNet(128)
+	s := strategies.OWT(g, 8)
+	doc, err := FromStrategy("AlexNet", g, s, 8, 0.0123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := back.ToStrategy(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range s {
+		if !s[v].Equal(s2[v]) {
+			t.Fatalf("node %d: %v != %v", v, s[v], s2[v])
+		}
+	}
+	if back.Model != "AlexNet" || back.Devices != 8 || back.CostSeconds != 0.0123 {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+}
+
+func TestFromStrategyValidates(t *testing.T) {
+	g := models.AlexNet(128)
+	if _, err := FromStrategy("x", g, nil, 8, 0); err == nil {
+		t.Fatal("nil strategy accepted")
+	}
+}
+
+func TestToStrategyCrossChecks(t *testing.T) {
+	g := models.AlexNet(128)
+	s := strategies.DataParallel(g, 8)
+	doc, err := FromStrategy("AlexNet", g, s, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong graph (different node count).
+	g2 := models.RNNLM(64)
+	if _, err := doc.ToStrategy(g2); err == nil {
+		t.Fatal("mismatched graph accepted")
+	}
+	// Corrupted layer name.
+	doc.Layers[0].Name = "not_conv1"
+	if _, err := doc.ToStrategy(g); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	g := models.AlexNet(128)
+	s := strategies.DataParallel(g, 8)
+	doc, err := FromStrategy("AlexNet", g, s, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"model": "AlexNet"`, `"dims": "bchwnrs"`, `"op": "conv2d"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}

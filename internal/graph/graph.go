@@ -1,0 +1,396 @@
+// Package graph represents DNN computation graphs as defined in Section II of
+// the PaSE paper: weakly connected directed graphs whose nodes are layers
+// (each with an iteration space) and whose edges carry the tensors flowing
+// between layers.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"pase/internal/itspace"
+)
+
+// OpType classifies a node's layer kind. It selects cost-model details
+// (FLOPs-per-point defaults, halo behaviour) and is reported in Table II
+// style output.
+type OpType int
+
+// Supported layer kinds.
+const (
+	OpGeneric OpType = iota
+	OpConv2D
+	OpPool
+	OpFC
+	OpGEMM
+	OpLSTM
+	OpEmbedding
+	OpSoftmax
+	OpLayerNorm
+	OpConcat
+	OpEltwise
+	OpAttention
+)
+
+var opNames = map[OpType]string{
+	OpGeneric:   "generic",
+	OpConv2D:    "conv2d",
+	OpPool:      "pool",
+	OpFC:        "fc",
+	OpGEMM:      "gemm",
+	OpLSTM:      "lstm",
+	OpEmbedding: "embedding",
+	OpSoftmax:   "softmax",
+	OpLayerNorm: "layernorm",
+	OpConcat:    "concat",
+	OpEltwise:   "eltwise",
+	OpAttention: "attention",
+}
+
+func (o OpType) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// TensorRef describes how a node reads or writes a tensor: Map[t] is the
+// iteration-space dimension that indexes tensor dimension t. Iteration dims
+// absent from Map are, for an output, reduction dims (splitting them leaves
+// partial sums needing an all-reduce) and, for a parameter, replication dims
+// (splitting them replicates the parameter and its gradient must be
+// all-reduced during the update phase — the classic data-parallel cost).
+type TensorRef struct {
+	// Map[t] gives the iteration dim for tensor dim t.
+	Map []int
+	// Offset[t], when non-nil, is the starting coordinate of this reference
+	// within iteration dim Map[t]'s extent. Used by concat inputs, which
+	// read/write a sub-range of the concatenated dimension.
+	Offset []int64
+	// Size[t], when non-nil, overrides the tensor extent along dim t
+	// (defaults to the full extent of iteration dim Map[t]).
+	Size []int64
+	// Scale multiplies the tensor's byte volume (e.g. 4 for an LSTM's four
+	// gate weight matrices folded into one logical parameter). Zero means 1.
+	Scale float64
+	// Param marks parameter (weight) tensors, which live on devices across
+	// steps and whose gradients are all-reduced, as opposed to activations,
+	// which flow along edges.
+	Param bool
+}
+
+// EffScale returns the byte-volume multiplier (1 when unset).
+func (r TensorRef) EffScale() float64 {
+	if r.Scale == 0 {
+		return 1
+	}
+	return r.Scale
+}
+
+// Extent returns the extent of tensor dim t given the node's space.
+func (r TensorRef) Extent(s itspace.Space, t int) int64 {
+	if r.Size != nil && r.Size[t] > 0 {
+		return r.Size[t]
+	}
+	return s[r.Map[t]].Size
+}
+
+// Off returns the offset of tensor dim t within its iteration dimension.
+func (r TensorRef) Off(t int) int64 {
+	if r.Offset == nil {
+		return 0
+	}
+	return r.Offset[t]
+}
+
+// Volume returns the number of elements of the referenced tensor.
+func (r TensorRef) Volume(s itspace.Space) float64 {
+	v := 1.0
+	for t := range r.Map {
+		v *= float64(r.Extent(s, t))
+	}
+	return v
+}
+
+// Node is a layer in the computation graph.
+type Node struct {
+	ID    int
+	Name  string
+	Op    OpType
+	Space itspace.Space
+
+	// Inputs holds the activation tensor references in the order of the
+	// node's incoming edges (edge k of In() corresponds to Inputs[k]).
+	Inputs []TensorRef
+	// Params holds parameter (weight) tensor references.
+	Params []TensorRef
+	// Output is the node's single output tensor reference; every out-edge
+	// carries this tensor.
+	Output TensorRef
+
+	// FlopsPerPoint is the floating-point work per iteration-space point in
+	// the forward pass (2 for a multiply-accumulate). The cost model
+	// multiplies by a forward+backward factor.
+	FlopsPerPoint float64
+	// Halo[i] is the per-boundary halo width of iteration dim i (conv
+	// spatial dims: kernel-1 elements must be exchanged when split).
+	Halo []int64
+	// NormDims lists iteration dims along which a normalization reduction
+	// (softmax denominator, layer-norm moments) crosses device boundaries
+	// when split.
+	NormDims []int
+}
+
+// Graph is a weakly connected directed computation graph.
+type Graph struct {
+	Nodes []*Node
+	// edges
+	out [][]int // out[u] = node IDs v with (u,v) in E
+	in  [][]int // in[v] = node IDs u with (u,v) in E
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddNode appends a node, assigning its ID, and returns it.
+func (g *Graph) AddNode(n *Node) *Node {
+	n.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return n
+}
+
+// AddEdge adds the directed edge (u, v): v consumes u's output tensor as its
+// next activation input. The position of u in In(v) identifies which entry of
+// v.Inputs describes the access.
+func (g *Graph) AddEdge(u, v *Node) {
+	g.out[u.ID] = append(g.out[u.ID], v.ID)
+	g.in[v.ID] = append(g.in[v.ID], u.ID)
+}
+
+// Len returns the node count.
+func (g *Graph) Len() int { return len(g.Nodes) }
+
+// Out returns the successor IDs of node id.
+func (g *Graph) Out(id int) []int { return g.out[id] }
+
+// In returns the predecessor IDs of node id.
+func (g *Graph) In(id int) []int { return g.in[id] }
+
+// InputIndex returns which activation-input slot of node v the edge (u, v)
+// feeds, or -1 when no such edge exists.
+func (g *Graph) InputIndex(u, v int) int {
+	for k, w := range g.in[v] {
+		if w == u {
+			return k
+		}
+	}
+	return -1
+}
+
+// Neighbors returns the sorted union of predecessors and successors of id
+// (the paper's N(v)); a node appearing as both is listed once.
+func (g *Graph) Neighbors(id int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range g.out[id] {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, u := range g.in[id] {
+		if !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Degree returns |N(id)|.
+func (g *Graph) Degree(id int) int { return len(g.Neighbors(id)) }
+
+// Edges returns every directed edge as (u, v) pairs in deterministic order.
+func (g *Graph) Edges() [][2]int {
+	var es [][2]int
+	for u := range g.Nodes {
+		for _, v := range g.out[u] {
+			es = append(es, [2]int{u, v})
+		}
+	}
+	return es
+}
+
+// TopoOrder returns node IDs in a topological order. It panics on cycles;
+// computation graphs of feed-forward training steps are acyclic by
+// construction (recurrence is folded into single vertices per the paper's
+// RNNLM treatment).
+func (g *Graph) TopoOrder() []int {
+	indeg := make([]int, g.Len())
+	for v := range g.Nodes {
+		indeg[v] = len(g.in[v])
+	}
+	var q, order []int
+	for v := range g.Nodes {
+		if indeg[v] == 0 {
+			q = append(q, v)
+		}
+	}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		order = append(order, v)
+		for _, w := range g.out[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				q = append(q, w)
+			}
+		}
+	}
+	if len(order) != g.Len() {
+		panic("graph: cycle detected in computation graph")
+	}
+	return order
+}
+
+// BFSOrder returns node IDs in breadth-first order over the undirected view,
+// starting from the lowest-ID source. This is the "BF" ordering of the
+// paper's Section III-A baseline.
+func (g *Graph) BFSOrder() []int {
+	visited := make([]bool, g.Len())
+	var order []int
+	for start := 0; start < g.Len(); start++ {
+		if visited[start] {
+			continue
+		}
+		q := []int{start}
+		visited[start] = true
+		for len(q) > 0 {
+			v := q[0]
+			q = q[1:]
+			order = append(order, v)
+			for _, w := range g.Neighbors(v) {
+				if !visited[w] {
+					visited[w] = true
+					q = append(q, w)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// ReachableWithin performs the paper's DFS(G, U, v): the set of vertices
+// reachable from v through paths confined to U ∪ {v}, over the undirected
+// view. v must be in the returned set.
+func (g *Graph) ReachableWithin(allowed map[int]bool, v int) map[int]bool {
+	res := map[int]bool{v: true}
+	stack := []int{v}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Neighbors(x) {
+			if allowed[w] && !res[w] {
+				res[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return res
+}
+
+// WeaklyConnected reports whether the graph is weakly connected (a
+// requirement of the paper's problem definition).
+func (g *Graph) WeaklyConnected() bool {
+	if g.Len() == 0 {
+		return true
+	}
+	all := map[int]bool{}
+	for v := range g.Nodes {
+		all[v] = true
+	}
+	return len(g.ReachableWithin(all, 0)) == g.Len()
+}
+
+// DegreeHistogram returns, for each degree value, how many nodes have it.
+// Used to reproduce the paper's Fig. 5 observation (InceptionV3: 206 of 218
+// nodes with degree < 5).
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := map[int]int{}
+	for v := range g.Nodes {
+		h[g.Degree(v)]++
+	}
+	return h
+}
+
+// Validate checks structural invariants: space validity, input arity matching
+// in-edges, well-formed tensor refs, weak connectivity.
+func (g *Graph) Validate() error {
+	for _, n := range g.Nodes {
+		if err := n.Space.Validate(); err != nil {
+			return fmt.Errorf("node %d (%s): %w", n.ID, n.Name, err)
+		}
+		if len(g.in[n.ID]) != len(n.Inputs) {
+			return fmt.Errorf("node %d (%s): %d in-edges but %d input refs",
+				n.ID, n.Name, len(g.in[n.ID]), len(n.Inputs))
+		}
+		refs := append([]TensorRef{n.Output}, n.Inputs...)
+		refs = append(refs, n.Params...)
+		for ri, r := range refs {
+			for t, d := range r.Map {
+				if d < 0 || d >= len(n.Space) {
+					return fmt.Errorf("node %d (%s): ref %d tensor dim %d maps to invalid iter dim %d",
+						n.ID, n.Name, ri, t, d)
+				}
+			}
+			if r.Offset != nil && len(r.Offset) != len(r.Map) {
+				return fmt.Errorf("node %d (%s): ref %d offset arity mismatch", n.ID, n.Name, ri)
+			}
+			if r.Size != nil && len(r.Size) != len(r.Map) {
+				return fmt.Errorf("node %d (%s): ref %d size arity mismatch", n.ID, n.Name, ri)
+			}
+		}
+		if n.Halo != nil && len(n.Halo) != len(n.Space) {
+			return fmt.Errorf("node %d (%s): halo arity mismatch", n.ID, n.Name)
+		}
+		for _, d := range n.NormDims {
+			if d < 0 || d >= len(n.Space) {
+				return fmt.Errorf("node %d (%s): invalid norm dim %d", n.ID, n.Name, d)
+			}
+		}
+	}
+	if !g.WeaklyConnected() {
+		return fmt.Errorf("graph: not weakly connected")
+	}
+	return nil
+}
+
+// Strategy maps node ID to its chosen parallelization configuration — the
+// paper's φ.
+type Strategy []itspace.Config
+
+// Clone deep-copies the strategy.
+func (s Strategy) Clone() Strategy {
+	out := make(Strategy, len(s))
+	for i, c := range s {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// Validate checks that the strategy assigns a valid configuration to every
+// node of the graph for p devices.
+func (s Strategy) Validate(g *Graph, p int) error {
+	if len(s) != g.Len() {
+		return fmt.Errorf("strategy covers %d nodes, graph has %d", len(s), g.Len())
+	}
+	for _, n := range g.Nodes {
+		if err := s[n.ID].ValidFor(n.Space, p); err != nil {
+			return fmt.Errorf("node %d (%s): %w", n.ID, n.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package graph
+
+import (
+	"testing"
+
+	"pase/internal/itspace"
+)
+
+func lineGraph(n int) *Graph {
+	g := New()
+	var prev *Node
+	for i := 0; i < n; i++ {
+		nd := g.AddNode(&Node{
+			Name:          "fc",
+			Op:            OpFC,
+			Space:         itspace.Space{{Name: "b", Size: 64}, {Name: "n", Size: 64}, {Name: "c", Size: 64}},
+			Output:        TensorRef{Map: []int{0, 1}},
+			Params:        []TensorRef{{Map: []int{1, 2}, Param: true}},
+			FlopsPerPoint: 2,
+		})
+		if prev != nil {
+			nd.Inputs = []TensorRef{{Map: []int{0, 2}}}
+			g.AddEdge(prev, nd)
+		}
+		prev = nd
+	}
+	return g
+}
+
+func TestAddNodeAssignsIDs(t *testing.T) {
+	g := lineGraph(3)
+	for i, n := range g.Nodes {
+		if n.ID != i {
+			t.Fatalf("node %d has ID %d", i, n.ID)
+		}
+	}
+}
+
+func TestEdgesAndNeighbors(t *testing.T) {
+	g := lineGraph(3)
+	if got := g.Out(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Out(0) = %v", got)
+	}
+	if got := g.In(2); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("In(2) = %v", got)
+	}
+	nb := g.Neighbors(1)
+	if len(nb) != 2 || nb[0] != 0 || nb[1] != 2 {
+		t.Fatalf("Neighbors(1) = %v", nb)
+	}
+	if g.Degree(1) != 2 || g.Degree(0) != 1 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(1), g.Degree(0))
+	}
+}
+
+func TestInputIndex(t *testing.T) {
+	g := New()
+	a := g.AddNode(&Node{Space: itspace.Space{{Name: "x", Size: 2}}, Output: TensorRef{Map: []int{0}}})
+	b := g.AddNode(&Node{Space: itspace.Space{{Name: "x", Size: 2}}, Output: TensorRef{Map: []int{0}}})
+	c := g.AddNode(&Node{
+		Space:  itspace.Space{{Name: "x", Size: 2}},
+		Output: TensorRef{Map: []int{0}},
+		Inputs: []TensorRef{{Map: []int{0}}, {Map: []int{0}}},
+	})
+	g.AddEdge(a, c)
+	g.AddEdge(b, c)
+	if g.InputIndex(a.ID, c.ID) != 0 || g.InputIndex(b.ID, c.ID) != 1 {
+		t.Fatal("input indices wrong")
+	}
+	if g.InputIndex(c.ID, a.ID) != -1 {
+		t.Fatal("nonexistent edge found")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := lineGraph(5)
+	order := g.TopoOrder()
+	pos := make([]int, g.Len())
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Fatalf("edge %v violates topo order", e)
+		}
+	}
+}
+
+func TestBFSOrderCoversAll(t *testing.T) {
+	g := lineGraph(6)
+	order := g.BFSOrder()
+	if len(order) != 6 {
+		t.Fatalf("BFS order has %d nodes", len(order))
+	}
+	seen := map[int]bool{}
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestReachableWithin(t *testing.T) {
+	// Diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+	g := New()
+	sp := itspace.Space{{Name: "x", Size: 2}}
+	n := make([]*Node, 4)
+	for i := range n {
+		nd := &Node{Space: sp, Output: TensorRef{Map: []int{0}}}
+		if i > 0 {
+			nd.Inputs = []TensorRef{{Map: []int{0}}}
+		}
+		if i == 3 {
+			nd.Inputs = []TensorRef{{Map: []int{0}}, {Map: []int{0}}}
+		}
+		n[i] = g.AddNode(nd)
+	}
+	g.AddEdge(n[0], n[1])
+	g.AddEdge(n[0], n[2])
+	g.AddEdge(n[1], n[3])
+	g.AddEdge(n[2], n[3])
+
+	allowed := map[int]bool{0: true, 1: true}
+	r := g.ReachableWithin(allowed, 1)
+	if !r[1] || !r[0] || r[2] || r[3] {
+		t.Fatalf("ReachableWithin = %v", r)
+	}
+}
+
+func TestWeaklyConnected(t *testing.T) {
+	g := lineGraph(4)
+	if !g.WeaklyConnected() {
+		t.Fatal("line graph should be connected")
+	}
+	// Add an isolated node.
+	g.AddNode(&Node{Space: itspace.Space{{Name: "x", Size: 2}}, Output: TensorRef{Map: []int{0}}})
+	if g.WeaklyConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := lineGraph(4) // degrees 1,2,2,1
+	h := g.DegreeHistogram()
+	if h[1] != 2 || h[2] != 2 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestValidateCatchesArityMismatch(t *testing.T) {
+	g := lineGraph(3)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	// Break: drop the input ref of node 1 while keeping the edge.
+	g.Nodes[1].Inputs = nil
+	if err := g.Validate(); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestValidateCatchesBadMap(t *testing.T) {
+	g := lineGraph(2)
+	g.Nodes[0].Output = TensorRef{Map: []int{7}}
+	if err := g.Validate(); err == nil {
+		t.Fatal("invalid map accepted")
+	}
+}
+
+func TestTensorRefExtentOffsetVolume(t *testing.T) {
+	sp := itspace.Space{{Name: "b", Size: 8}, {Name: "c", Size: 32}}
+	r := TensorRef{Map: []int{0, 1}, Offset: []int64{0, 16}, Size: []int64{8, 16}}
+	if r.Extent(sp, 1) != 16 {
+		t.Fatalf("Extent = %d", r.Extent(sp, 1))
+	}
+	if r.Off(1) != 16 {
+		t.Fatalf("Off = %d", r.Off(1))
+	}
+	if got := r.Volume(sp); got != 128 {
+		t.Fatalf("Volume = %v", got)
+	}
+	full := TensorRef{Map: []int{0, 1}}
+	if got := full.Volume(sp); got != 256 {
+		t.Fatalf("full Volume = %v", got)
+	}
+	if full.Off(0) != 0 {
+		t.Fatal("default offset not 0")
+	}
+}
+
+func TestEffScale(t *testing.T) {
+	if (TensorRef{}).EffScale() != 1 {
+		t.Fatal("default scale not 1")
+	}
+	if (TensorRef{Scale: 4}).EffScale() != 4 {
+		t.Fatal("scale 4 not honored")
+	}
+}
+
+func TestStrategyValidateAndClone(t *testing.T) {
+	g := lineGraph(2)
+	s := Strategy{
+		itspace.Config{8, 1, 1},
+		itspace.Config{1, 4, 2},
+	}
+	if err := s.Validate(g, 8); err != nil {
+		t.Fatalf("valid strategy rejected: %v", err)
+	}
+	c := s.Clone()
+	c[0][0] = 1
+	if s[0][0] != 8 {
+		t.Fatal("clone aliases original")
+	}
+	bad := Strategy{itspace.Config{16, 1, 1}, itspace.Config{1, 1, 1}}
+	if err := bad.Validate(g, 8); err == nil {
+		t.Fatal("invalid strategy accepted")
+	}
+	short := Strategy{itspace.Config{1, 1, 1}}
+	if err := short.Validate(g, 8); err == nil {
+		t.Fatal("short strategy accepted")
+	}
+}
+
+func TestOpTypeString(t *testing.T) {
+	if OpConv2D.String() != "conv2d" || OpType(99).String() == "" {
+		t.Fatal("OpType.String broken")
+	}
+}

@@ -1,0 +1,386 @@
+// Package layers provides builders for the DNN layer kinds the paper's
+// benchmarks use. Each builder appends a node with the right iteration
+// space, tensor access maps, parameter tensors, halos, and FLOP density to a
+// computation graph, wiring the edge from its predecessor.
+//
+// Dimension naming follows the paper's Table II legends:
+//
+//	CNNs:        b batch, c in-channels, h/w output spatial, n out-channels,
+//	             r/s filter height/width
+//	RNNLM:       b batch, s sequence, d embed dim, e hidden dim, v vocab,
+//	             l RNN layers
+//	Transformer: b batch, s/t query/key sequence, d model dim, h heads,
+//	             k kv channels, e feed-forward hidden, v vocab
+package layers
+
+import (
+	"pase/internal/graph"
+	"pase/internal/itspace"
+)
+
+// B is a graph builder.
+type B struct {
+	G *graph.Graph
+}
+
+// New returns a builder over a fresh graph.
+func New() *B { return &B{G: graph.New()} }
+
+// add registers the node and wires edges from the given producers, in order.
+// Nil producers are skipped, letting single-input builders double as graph
+// sources.
+func (b *B) add(n *graph.Node, from ...*graph.Node) *graph.Node {
+	b.G.AddNode(n)
+	for _, u := range from {
+		if u != nil {
+			b.G.AddEdge(u, n)
+		}
+	}
+	return n
+}
+
+// inputIf attaches the activation input reference only when a producer
+// exists, so builders can also create source nodes.
+func inputIf(n *graph.Node, from *graph.Node, ref graph.TensorRef) {
+	if from != nil {
+		n.Inputs = append(n.Inputs, ref)
+	}
+}
+
+// Conv2D appends a convolution: batch bs, inC input channels, (outH, outW)
+// output spatial extents, outC filters of size kH×kW. The iteration space is
+// (b, c, h, w, n, r, s) with h/w indexing output positions; splitting h or w
+// incurs a (k-1)-wide halo exchange.
+func (b *B) Conv2D(name string, from *graph.Node, bs, inC, outH, outW, outC, kH, kW int64) *graph.Node {
+	n := &graph.Node{
+		Name: name,
+		Op:   graph.OpConv2D,
+		Space: itspace.Space{
+			{Name: "b", Size: bs}, {Name: "c", Size: inC},
+			{Name: "h", Size: outH}, {Name: "w", Size: outW},
+			{Name: "n", Size: outC}, {Name: "r", Size: kH}, {Name: "s", Size: kW},
+		},
+		Output:        graph.TensorRef{Map: []int{0, 4, 2, 3}},
+		Params:        []graph.TensorRef{{Map: []int{4, 1, 5, 6}, Param: true}},
+		FlopsPerPoint: 2,
+		Halo:          []int64{0, 0, kH - 1, kW - 1, 0, 0, 0},
+	}
+	if from != nil {
+		n.Inputs = []graph.TensorRef{{Map: []int{0, 1, 2, 3}}}
+		return b.add(n, from)
+	}
+	return b.add(n)
+}
+
+// Pool appends a pooling layer over (b, c, h, w) output extents with a k×k
+// window (halo k-1 on the spatial dims).
+func (b *B) Pool(name string, from *graph.Node, bs, ch, outH, outW, k int64) *graph.Node {
+	n := &graph.Node{
+		Name: name,
+		Op:   graph.OpPool,
+		Space: itspace.Space{
+			{Name: "b", Size: bs}, {Name: "c", Size: ch},
+			{Name: "h", Size: outH}, {Name: "w", Size: outW},
+		},
+		Inputs:        []graph.TensorRef{{Map: []int{0, 1, 2, 3}}},
+		Output:        graph.TensorRef{Map: []int{0, 1, 2, 3}},
+		FlopsPerPoint: float64(k * k),
+		Halo:          []int64{0, 0, k - 1, k - 1},
+	}
+	return b.add(n, from)
+}
+
+// FC appends a fully-connected layer (b, n, c) consuming a plain 2-D
+// activation [b, c].
+func (b *B) FC(name string, from *graph.Node, bs, outC, inC int64) *graph.Node {
+	n := &graph.Node{
+		Name: name,
+		Op:   graph.OpFC,
+		Space: itspace.Space{
+			{Name: "b", Size: bs}, {Name: "n", Size: outC}, {Name: "c", Size: inC},
+		},
+		Params:        []graph.TensorRef{{Map: []int{1, 2}, Param: true}},
+		Output:        graph.TensorRef{Map: []int{0, 1}},
+		FlopsPerPoint: 2,
+	}
+	inputIf(n, from, graph.TensorRef{Map: []int{0, 2}})
+	return b.add(n, from)
+}
+
+// FCFromConv appends a fully-connected layer whose input flattens a conv/pool
+// output [b, ch, ih, iw] into its c dimension (c = ch·ih·iw, row-major).
+func (b *B) FCFromConv(name string, from *graph.Node, bs, outC, ch, ih, iw int64) *graph.Node {
+	inC := ch * ih * iw
+	n := &graph.Node{
+		Name: name,
+		Op:   graph.OpFC,
+		Space: itspace.Space{
+			{Name: "b", Size: bs}, {Name: "n", Size: outC}, {Name: "c", Size: inC},
+		},
+		Inputs: []graph.TensorRef{{
+			Map:  []int{0, 2, 2, 2},
+			Size: []int64{bs, ch, ih, iw},
+		}},
+		Params:        []graph.TensorRef{{Map: []int{1, 2}, Param: true}},
+		Output:        graph.TensorRef{Map: []int{0, 1}},
+		FlopsPerPoint: 2,
+	}
+	return b.add(n, from)
+}
+
+// Softmax appends a softmax over the trailing vocabulary/class dimension of
+// a [b, v] activation. Splitting v requires cross-device normalization.
+func (b *B) Softmax(name string, from *graph.Node, bs, v int64) *graph.Node {
+	n := &graph.Node{
+		Name:          name,
+		Op:            graph.OpSoftmax,
+		Space:         itspace.Space{{Name: "b", Size: bs}, {Name: "v", Size: v}},
+		Inputs:        []graph.TensorRef{{Map: []int{0, 1}}},
+		Output:        graph.TensorRef{Map: []int{0, 1}},
+		FlopsPerPoint: 5,
+		NormDims:      []int{1},
+	}
+	return b.add(n, from)
+}
+
+// SeqSoftmax appends a softmax over the vocabulary of a [b, s, v] sequence
+// activation (language-model output).
+func (b *B) SeqSoftmax(name string, from *graph.Node, bs, sq, v int64) *graph.Node {
+	n := &graph.Node{
+		Name: name,
+		Op:   graph.OpSoftmax,
+		Space: itspace.Space{
+			{Name: "b", Size: bs}, {Name: "s", Size: sq}, {Name: "v", Size: v},
+		},
+		Inputs:        []graph.TensorRef{{Map: []int{0, 1, 2}}},
+		Output:        graph.TensorRef{Map: []int{0, 1, 2}},
+		FlopsPerPoint: 5,
+		NormDims:      []int{2},
+	}
+	return b.add(n, from)
+}
+
+// Concat appends a channel concatenation node over (b, c, h, w): each input
+// branch writes a contiguous channel slice. chs lists the branch channel
+// widths; c = Σ chs.
+func (b *B) Concat(name string, froms []*graph.Node, bs int64, chs []int64, h, w int64) *graph.Node {
+	var total int64
+	for _, c := range chs {
+		total += c
+	}
+	n := &graph.Node{
+		Name: name,
+		Op:   graph.OpConcat,
+		Space: itspace.Space{
+			{Name: "b", Size: bs}, {Name: "c", Size: total},
+			{Name: "h", Size: h}, {Name: "w", Size: w},
+		},
+		Output:        graph.TensorRef{Map: []int{0, 1, 2, 3}},
+		FlopsPerPoint: 0,
+	}
+	off := int64(0)
+	for _, c := range chs {
+		n.Inputs = append(n.Inputs, graph.TensorRef{
+			Map:    []int{0, 1, 2, 3},
+			Offset: []int64{0, off, 0, 0},
+			Size:   []int64{bs, c, h, w},
+		})
+		off += c
+	}
+	return b.add(n, froms...)
+}
+
+// Embedding appends a table lookup producing [b, s, d] from a [v, d] table.
+// The vocabulary dim is a reduction dim of the output: splitting it shards
+// the table and pays a (sparse) all-reduce to assemble embeddings, the
+// behaviour the paper's RNNLM strategy exploits by fully splitting v.
+func (b *B) Embedding(name string, bs, sq, d, v int64) *graph.Node {
+	n := &graph.Node{
+		Name: name,
+		Op:   graph.OpEmbedding,
+		Space: itspace.Space{
+			{Name: "b", Size: bs}, {Name: "s", Size: sq},
+			{Name: "d", Size: d}, {Name: "v", Size: v},
+		},
+		Params:        []graph.TensorRef{{Map: []int{3, 2}, Param: true}},
+		Output:        graph.TensorRef{Map: []int{0, 1, 2}},
+		FlopsPerPoint: 0.01, // lookup, not multiply-accumulate
+	}
+	return b.add(n)
+}
+
+// LSTM appends a folded recurrent operator: the paper represents the whole
+// multi-layer RNN (including the recurrent steps) as one vertex with
+// iteration space (l, b, s, d, e) — layers, batch, sequence, input, hidden.
+// Splitting l (and s) captures intra-layer pipeline parallelism; the l
+// split's stage-boundary activation handoff is modelled by l being a
+// reduction dim of the [b, s, e] output.
+func (b *B) LSTM(name string, from *graph.Node, l, bs, sq, d, e int64) *graph.Node {
+	n := &graph.Node{
+		Name: name,
+		Op:   graph.OpLSTM,
+		Space: itspace.Space{
+			{Name: "l", Size: l}, {Name: "b", Size: bs}, {Name: "s", Size: sq},
+			{Name: "d", Size: d}, {Name: "e", Size: e},
+		},
+		Inputs: []graph.TensorRef{{Map: []int{1, 2, 3}}},
+		Params: []graph.TensorRef{
+			{Map: []int{0, 3, 4}, Scale: 4, Param: true}, // input weights, 4 gates
+			{Map: []int{0, 4, 4}, Scale: 4, Param: true}, // recurrent weights
+		},
+		Output:        graph.TensorRef{Map: []int{1, 2, 4}},
+		FlopsPerPoint: 16, // 4 gates × (input + recurrent) GEMMs × 2 flops
+	}
+	return b.add(n, from)
+}
+
+// Projection appends the language-model output projection with iteration
+// space (b, s, v, d) (the paper's "FC bsvd" row).
+func (b *B) Projection(name string, from *graph.Node, bs, sq, v, d int64) *graph.Node {
+	n := &graph.Node{
+		Name: name,
+		Op:   graph.OpFC,
+		Space: itspace.Space{
+			{Name: "b", Size: bs}, {Name: "s", Size: sq},
+			{Name: "v", Size: v}, {Name: "d", Size: d},
+		},
+		Inputs:        []graph.TensorRef{{Map: []int{0, 1, 3}}},
+		Params:        []graph.TensorRef{{Map: []int{2, 3}, Param: true}},
+		Output:        graph.TensorRef{Map: []int{0, 1, 2}},
+		FlopsPerPoint: 2,
+	}
+	return b.add(n, from)
+}
+
+// QKVProj appends one of the attention input projections (space
+// b, s, h, k, d) reading a [b, s, d] activation and producing [b, s, h, k].
+func (b *B) QKVProj(name string, from *graph.Node, bs, sq, h, k, d int64) *graph.Node {
+	n := &graph.Node{
+		Name: name,
+		Op:   graph.OpGEMM,
+		Space: itspace.Space{
+			{Name: "b", Size: bs}, {Name: "s", Size: sq},
+			{Name: "h", Size: h}, {Name: "k", Size: k}, {Name: "d", Size: d},
+		},
+		Inputs:        []graph.TensorRef{{Map: []int{0, 1, 4}}},
+		Params:        []graph.TensorRef{{Map: []int{4, 2, 3}, Param: true}},
+		Output:        graph.TensorRef{Map: []int{0, 1, 2, 3}},
+		FlopsPerPoint: 2,
+	}
+	return b.add(n, from)
+}
+
+// AttnScores appends the QKᵀ batched GEMM (space b, h, s, t, k) consuming
+// the query [b, s, h, k] and key [b, t, h, k] projections and producing
+// attention logits [b, h, s, t].
+func (b *B) AttnScores(name string, q, kk *graph.Node, bs, h, sq, tq, k int64) *graph.Node {
+	n := &graph.Node{
+		Name: name,
+		Op:   graph.OpAttention,
+		Space: itspace.Space{
+			{Name: "b", Size: bs}, {Name: "h", Size: h},
+			{Name: "s", Size: sq}, {Name: "t", Size: tq}, {Name: "k", Size: k},
+		},
+		Inputs: []graph.TensorRef{
+			{Map: []int{0, 2, 1, 4}}, // Q [b, s, h, k]
+			{Map: []int{0, 3, 1, 4}}, // K [b, t, h, k]
+		},
+		Output:        graph.TensorRef{Map: []int{0, 1, 2, 3}},
+		FlopsPerPoint: 2,
+	}
+	return b.add(n, q, kk)
+}
+
+// AttnSoftmax appends the attention-weight softmax over key positions t.
+func (b *B) AttnSoftmax(name string, from *graph.Node, bs, h, sq, tq int64) *graph.Node {
+	n := &graph.Node{
+		Name: name,
+		Op:   graph.OpSoftmax,
+		Space: itspace.Space{
+			{Name: "b", Size: bs}, {Name: "h", Size: h},
+			{Name: "s", Size: sq}, {Name: "t", Size: tq},
+		},
+		Inputs:        []graph.TensorRef{{Map: []int{0, 1, 2, 3}}},
+		Output:        graph.TensorRef{Map: []int{0, 1, 2, 3}},
+		FlopsPerPoint: 5,
+		NormDims:      []int{3},
+	}
+	return b.add(n, from)
+}
+
+// AttnContext appends the AV batched GEMM (space b, h, s, k, t) combining
+// attention weights [b, h, s, t] with values [b, t, h, k] into [b, s, h, k].
+func (b *B) AttnContext(name string, a, v *graph.Node, bs, h, sq, k, tq int64) *graph.Node {
+	n := &graph.Node{
+		Name: name,
+		Op:   graph.OpAttention,
+		Space: itspace.Space{
+			{Name: "b", Size: bs}, {Name: "h", Size: h},
+			{Name: "s", Size: sq}, {Name: "k", Size: k}, {Name: "t", Size: tq},
+		},
+		Inputs: []graph.TensorRef{
+			{Map: []int{0, 1, 2, 4}}, // A [b, h, s, t]
+			{Map: []int{0, 4, 1, 3}}, // V [b, t, h, k]
+		},
+		Output:        graph.TensorRef{Map: []int{0, 2, 1, 3}},
+		FlopsPerPoint: 2,
+	}
+	return b.add(n, a, v)
+}
+
+// OutProj appends the attention output projection (space b, s, d, h, k)
+// mapping [b, s, h, k] context back to [b, s, d].
+func (b *B) OutProj(name string, from *graph.Node, bs, sq, d, h, k int64) *graph.Node {
+	n := &graph.Node{
+		Name: name,
+		Op:   graph.OpGEMM,
+		Space: itspace.Space{
+			{Name: "b", Size: bs}, {Name: "s", Size: sq},
+			{Name: "d", Size: d}, {Name: "h", Size: h}, {Name: "k", Size: k},
+		},
+		Inputs:        []graph.TensorRef{{Map: []int{0, 1, 3, 4}}},
+		Params:        []graph.TensorRef{{Map: []int{3, 4, 2}, Param: true}},
+		Output:        graph.TensorRef{Map: []int{0, 1, 2}},
+		FlopsPerPoint: 2,
+	}
+	return b.add(n, from)
+}
+
+// FFN appends one feed-forward GEMM (space b, s, out, in) over a sequence
+// activation, producing [b, s, out]. outName/inName pick the paper's dim
+// letters ("e"/"d" for the expansion, "d"/"e" for the contraction).
+func (b *B) FFN(name string, from *graph.Node, bs, sq, out, in int64, outName, inName string) *graph.Node {
+	n := &graph.Node{
+		Name: name,
+		Op:   graph.OpGEMM,
+		Space: itspace.Space{
+			{Name: "b", Size: bs}, {Name: "s", Size: sq},
+			{Name: outName, Size: out}, {Name: inName, Size: in},
+		},
+		Inputs:        []graph.TensorRef{{Map: []int{0, 1, 3}}},
+		Params:        []graph.TensorRef{{Map: []int{3, 2}, Param: true}},
+		Output:        graph.TensorRef{Map: []int{0, 1, 2}},
+		FlopsPerPoint: 2,
+	}
+	return b.add(n, from)
+}
+
+// LayerNorm appends a residual-add + layer normalization node over
+// [b, s, d], consuming the sublayer output and the residual input.
+func (b *B) LayerNorm(name string, sub, residual *graph.Node, bs, sq, d int64) *graph.Node {
+	n := &graph.Node{
+		Name: name,
+		Op:   graph.OpLayerNorm,
+		Space: itspace.Space{
+			{Name: "b", Size: bs}, {Name: "s", Size: sq}, {Name: "d", Size: d},
+		},
+		Inputs: []graph.TensorRef{
+			{Map: []int{0, 1, 2}},
+			{Map: []int{0, 1, 2}},
+		},
+		Output:        graph.TensorRef{Map: []int{0, 1, 2}},
+		FlopsPerPoint: 8,
+		NormDims:      []int{2},
+	}
+	return b.add(n, sub, residual)
+}

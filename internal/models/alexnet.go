@@ -1,0 +1,30 @@
+// Package models builds the computation graphs of the paper's four
+// evaluation benchmarks (AlexNet, InceptionV3, RNNLM, Transformer — §IV)
+// plus DenseNet, the §V worst-case for the vertex-ordering approach.
+package models
+
+import (
+	"pase/internal/graph"
+	"pase/internal/layers"
+)
+
+// AlexNet builds the classic 5-conv/3-FC ImageNet classifier at the given
+// batch size (the paper uses 128). Its computation graph is a simple path
+// graph, the easy case where breadth-first ordering and GENERATESEQ perform
+// alike (Table I).
+func AlexNet(batch int64) *graph.Graph {
+	b := layers.New()
+	c1 := b.Conv2D("conv1", nil, batch, 3, 55, 55, 96, 11, 11)
+	p1 := b.Pool("pool1", c1, batch, 96, 27, 27, 3)
+	c2 := b.Conv2D("conv2", p1, batch, 96, 27, 27, 256, 5, 5)
+	p2 := b.Pool("pool2", c2, batch, 256, 13, 13, 3)
+	c3 := b.Conv2D("conv3", p2, batch, 256, 13, 13, 384, 3, 3)
+	c4 := b.Conv2D("conv4", c3, batch, 384, 13, 13, 384, 3, 3)
+	c5 := b.Conv2D("conv5", c4, batch, 384, 13, 13, 256, 3, 3)
+	p3 := b.Pool("pool3", c5, batch, 256, 6, 6, 3)
+	f1 := b.FCFromConv("fc1", p3, batch, 4096, 256, 6, 6)
+	f2 := b.FC("fc2", f1, batch, 4096, 4096)
+	f3 := b.FC("fc3", f2, batch, 1000, 4096)
+	b.Softmax("softmax", f3, batch, 1000)
+	return b.G
+}

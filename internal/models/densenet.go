@@ -1,0 +1,44 @@
+package models
+
+import (
+	"fmt"
+
+	"pase/internal/graph"
+	"pase/internal/layers"
+)
+
+// DenseNet builds a densely-connected CNN block structure (Huang et al.
+// 2017): within each block, every layer consumes the concatenation of all
+// preceding feature maps. The paper's Section V names DenseNet as the worst
+// case for the ordering approach — the graph is uniformly dense, so no
+// vertex arrangement can keep dependent sets small. It is included for the
+// Fig. 5-style ordering statistics, not the Fig. 6 throughput comparison.
+func DenseNet(batch int64, blockLayers int) *graph.Graph {
+	const growth = 32
+	b := layers.New()
+	stem := b.Conv2D("stem", nil, batch, 3, 56, 56, 64, 7, 7)
+
+	feats := []*graph.Node{stem}
+	widths := []int64{64}
+	for i := 0; i < blockLayers; i++ {
+		// Dense connectivity: concat all previous outputs, then a 3×3 conv.
+		var inC int64
+		for _, w := range widths {
+			inC += w
+		}
+		cat := b.Concat(fmt.Sprintf("cat%d", i), feats, batch, widths, 56, 56)
+		conv := b.Conv2D(fmt.Sprintf("conv%d", i), cat, batch, inC, 56, 56, growth, 3, 3)
+		feats = append(feats, conv)
+		widths = append(widths, growth)
+	}
+
+	var inC int64
+	for _, w := range widths {
+		inC += w
+	}
+	cat := b.Concat("cat_final", feats, batch, widths, 56, 56)
+	pool := b.Pool("pool", cat, batch, inC, 1, 1, 56)
+	fc := b.FCFromConv("fc", pool, batch, 1000, inC, 1, 1)
+	b.Softmax("softmax", fc, batch, 1000)
+	return b.G
+}

@@ -1,0 +1,80 @@
+package models
+
+import (
+	"fmt"
+
+	"pase/internal/graph"
+	"pase/internal/layers"
+)
+
+// VGG16 builds the Simonyan & Zisserman CNN: a path graph like AlexNet but
+// far more parameter-heavy in its FC head (~120M of its ~138M parameters),
+// making it the canonical one-weird-trick beneficiary. Not part of the
+// paper's Table I/Fig. 6 suite; provided for users and ablations.
+func VGG16(batch int64) *graph.Graph {
+	b := layers.New()
+	type block struct {
+		convs     int
+		inC, outC int64
+		hw        int64
+	}
+	blocks := []block{
+		{2, 3, 64, 224},
+		{2, 64, 128, 112},
+		{3, 128, 256, 56},
+		{3, 256, 512, 28},
+		{3, 512, 512, 14},
+	}
+	var x *graph.Node
+	for bi, bl := range blocks {
+		inC := bl.inC
+		for ci := 0; ci < bl.convs; ci++ {
+			x = b.Conv2D(fmt.Sprintf("conv%d_%d", bi+1, ci+1), x,
+				batch, inC, bl.hw, bl.hw, bl.outC, 3, 3)
+			inC = bl.outC
+		}
+		x = b.Pool(fmt.Sprintf("pool%d", bi+1), x, batch, bl.outC, bl.hw/2, bl.hw/2, 2)
+	}
+	f1 := b.FCFromConv("fc1", x, batch, 4096, 512, 7, 7)
+	f2 := b.FC("fc2", f1, batch, 4096, 4096)
+	f3 := b.FC("fc3", f2, batch, 1000, 4096)
+	b.Softmax("softmax", f3, batch, 1000)
+	return b.G
+}
+
+// GNMT builds a Google-NMT-style encoder-decoder LSTM translation model —
+// the workload the paper's introduction opens with ("GNMT takes around 6
+// days to train ... with 96 K80 GPUs"). Both multi-layer LSTM stacks are
+// folded into single vertices (the paper's RNN treatment), joined by an
+// attention context GEMM, with a vocabulary-sized projection head.
+func GNMT(batch int64) *graph.Graph {
+	const (
+		seqLen = 32
+		embed  = 1024
+		hidden = 1024
+		vocab  = 32768
+		encL   = 4
+		decL   = 4
+	)
+	b := layers.New()
+	encEmb := b.Embedding("enc_embed", batch, seqLen, embed, vocab)
+	enc := b.LSTM("encoder", encEmb, encL, batch, seqLen, embed, hidden)
+
+	decEmb := b.Embedding("dec_embed", batch, seqLen, embed, vocab)
+	dec := b.LSTM("decoder", decEmb, decL, batch, seqLen, embed, hidden)
+
+	// Luong-style single-head attention over encoder states: project the
+	// decoder (queries) and encoder (keys/values) hidden states, score,
+	// normalize, combine, and mix back to hidden width.
+	q := b.QKVProj("attn_q", dec, batch, seqLen, 1, hidden, hidden)
+	k := b.QKVProj("attn_k", enc, batch, seqLen, 1, hidden, hidden)
+	v := b.QKVProj("attn_v", enc, batch, seqLen, 1, hidden, hidden)
+	scores := b.AttnScores("attn_scores", q, k, batch, 1, seqLen, seqLen, hidden)
+	weights := b.AttnSoftmax("attn_softmax", scores, batch, 1, seqLen, seqLen)
+	ctx := b.AttnContext("attn_ctx", weights, v, batch, 1, seqLen, hidden, seqLen)
+	mix := b.OutProj("attn_mix", ctx, batch, seqLen, hidden, 1, hidden)
+
+	proj := b.Projection("fc", mix, batch, seqLen, vocab, hidden)
+	b.SeqSoftmax("softmax", proj, batch, seqLen, vocab)
+	return b.G
+}

@@ -1,0 +1,151 @@
+package models
+
+import (
+	"fmt"
+
+	"pase/internal/graph"
+	"pase/internal/layers"
+)
+
+// InceptionV3 builds the Szegedy et al. inception network at the given batch
+// size (paper: 128). The graph alternates sparse convolution chains with
+// high-degree concat vertices at module boundaries — the structure the
+// paper's Fig. 5 highlights, on which breadth-first ordering runs out of
+// memory while GENERATESEQ keeps dependent sets ≤ 2.
+//
+// The graph models convolution/pool layers explicitly (batch-norm and
+// activation functions are fused into their producing convolutions, so node
+// counts are lower than the paper's 218, with identical topology).
+func InceptionV3(batch int64) *graph.Graph {
+	b := layers.New()
+	// Stem: 299×299×3 input.
+	x := b.Conv2D("stem_conv1", nil, batch, 3, 149, 149, 32, 3, 3)
+	x = b.Conv2D("stem_conv2", x, batch, 32, 147, 147, 32, 3, 3)
+	x = b.Conv2D("stem_conv3", x, batch, 32, 147, 147, 64, 3, 3)
+	x = b.Pool("stem_pool1", x, batch, 64, 73, 73, 3)
+	x = b.Conv2D("stem_conv4", x, batch, 64, 73, 73, 80, 1, 1)
+	x = b.Conv2D("stem_conv5", x, batch, 80, 71, 71, 192, 3, 3)
+	x = b.Pool("stem_pool2", x, batch, 192, 35, 35, 3)
+
+	// Three InceptionA modules at 35×35.
+	x = inceptionA(b, "a1", x, batch, 192, 32)
+	x = inceptionA(b, "a2", x, batch, 256, 64)
+	x = inceptionA(b, "a3", x, batch, 288, 64)
+
+	// Grid reduction to 17×17 (InceptionB).
+	x = inceptionB(b, "b1", x, batch, 288)
+
+	// Four InceptionC modules at 17×17.
+	x = inceptionC(b, "c1", x, batch, 128)
+	x = inceptionC(b, "c2", x, batch, 160)
+	x = inceptionC(b, "c3", x, batch, 160)
+	x = inceptionC(b, "c4", x, batch, 192)
+
+	// Grid reduction to 8×8 (InceptionD).
+	x = inceptionD(b, "d1", x, batch)
+
+	// Two InceptionE modules at 8×8 (the paper's Fig. 5 subgraph).
+	x = inceptionE(b, "e1", x, batch, 1280)
+	x = inceptionE(b, "e2", x, batch, 2048)
+
+	x = b.Pool("avgpool", x, batch, 2048, 1, 1, 8)
+	fc := b.FCFromConv("fc", x, batch, 1000, 2048, 1, 1)
+	b.Softmax("softmax", fc, batch, 1000)
+	return b.G
+}
+
+// inceptionA: 1×1; 1×1→5×5; 1×1→3×3→3×3; pool→1×1(poolC). Output 224+poolC.
+func inceptionA(b *layers.B, tag string, in *graph.Node, batch, inC, poolC int64) *graph.Node {
+	nm := func(s string) string { return fmt.Sprintf("%s_%s", tag, s) }
+	b1 := b.Conv2D(nm("b1_1x1"), in, batch, inC, 35, 35, 64, 1, 1)
+
+	b2 := b.Conv2D(nm("b2_1x1"), in, batch, inC, 35, 35, 48, 1, 1)
+	b2 = b.Conv2D(nm("b2_5x5"), b2, batch, 48, 35, 35, 64, 5, 5)
+
+	b3 := b.Conv2D(nm("b3_1x1"), in, batch, inC, 35, 35, 64, 1, 1)
+	b3 = b.Conv2D(nm("b3_3x3a"), b3, batch, 64, 35, 35, 96, 3, 3)
+	b3 = b.Conv2D(nm("b3_3x3b"), b3, batch, 96, 35, 35, 96, 3, 3)
+
+	b4 := b.Pool(nm("b4_pool"), in, batch, inC, 35, 35, 3)
+	b4 = b.Conv2D(nm("b4_1x1"), b4, batch, inC, 35, 35, poolC, 1, 1)
+
+	return b.Concat(nm("concat"), []*graph.Node{b1, b2, b3, b4},
+		batch, []int64{64, 64, 96, poolC}, 35, 35)
+}
+
+// inceptionB: grid reduction 35→17.
+func inceptionB(b *layers.B, tag string, in *graph.Node, batch, inC int64) *graph.Node {
+	nm := func(s string) string { return fmt.Sprintf("%s_%s", tag, s) }
+	b1 := b.Conv2D(nm("b1_3x3s2"), in, batch, inC, 17, 17, 384, 3, 3)
+
+	b2 := b.Conv2D(nm("b2_1x1"), in, batch, inC, 35, 35, 64, 1, 1)
+	b2 = b.Conv2D(nm("b2_3x3"), b2, batch, 64, 35, 35, 96, 3, 3)
+	b2 = b.Conv2D(nm("b2_3x3s2"), b2, batch, 96, 17, 17, 96, 3, 3)
+
+	b3 := b.Pool(nm("b3_pool"), in, batch, inC, 17, 17, 3)
+
+	return b.Concat(nm("concat"), []*graph.Node{b1, b2, b3},
+		batch, []int64{384, 96, inC}, 17, 17)
+}
+
+// inceptionC: factorized 7×7 branches at 17×17; c7 is the bottleneck width.
+func inceptionC(b *layers.B, tag string, in *graph.Node, batch, c7 int64) *graph.Node {
+	nm := func(s string) string { return fmt.Sprintf("%s_%s", tag, s) }
+	inC := int64(768)
+	b1 := b.Conv2D(nm("b1_1x1"), in, batch, inC, 17, 17, 192, 1, 1)
+
+	b2 := b.Conv2D(nm("b2_1x1"), in, batch, inC, 17, 17, c7, 1, 1)
+	b2 = b.Conv2D(nm("b2_1x7"), b2, batch, c7, 17, 17, c7, 1, 7)
+	b2 = b.Conv2D(nm("b2_7x1"), b2, batch, c7, 17, 17, 192, 7, 1)
+
+	b3 := b.Conv2D(nm("b3_1x1"), in, batch, inC, 17, 17, c7, 1, 1)
+	b3 = b.Conv2D(nm("b3_7x1a"), b3, batch, c7, 17, 17, c7, 7, 1)
+	b3 = b.Conv2D(nm("b3_1x7a"), b3, batch, c7, 17, 17, c7, 1, 7)
+	b3 = b.Conv2D(nm("b3_7x1b"), b3, batch, c7, 17, 17, c7, 7, 1)
+	b3 = b.Conv2D(nm("b3_1x7b"), b3, batch, c7, 17, 17, 192, 1, 7)
+
+	b4 := b.Pool(nm("b4_pool"), in, batch, inC, 17, 17, 3)
+	b4 = b.Conv2D(nm("b4_1x1"), b4, batch, inC, 17, 17, 192, 1, 1)
+
+	return b.Concat(nm("concat"), []*graph.Node{b1, b2, b3, b4},
+		batch, []int64{192, 192, 192, 192}, 17, 17)
+}
+
+// inceptionD: grid reduction 17→8.
+func inceptionD(b *layers.B, tag string, in *graph.Node, batch int64) *graph.Node {
+	nm := func(s string) string { return fmt.Sprintf("%s_%s", tag, s) }
+	inC := int64(768)
+	b1 := b.Conv2D(nm("b1_1x1"), in, batch, inC, 17, 17, 192, 1, 1)
+	b1 = b.Conv2D(nm("b1_3x3s2"), b1, batch, 192, 8, 8, 320, 3, 3)
+
+	b2 := b.Conv2D(nm("b2_1x1"), in, batch, inC, 17, 17, 192, 1, 1)
+	b2 = b.Conv2D(nm("b2_1x7"), b2, batch, 192, 17, 17, 192, 1, 7)
+	b2 = b.Conv2D(nm("b2_7x1"), b2, batch, 192, 17, 17, 192, 7, 1)
+	b2 = b.Conv2D(nm("b2_3x3s2"), b2, batch, 192, 8, 8, 192, 3, 3)
+
+	b3 := b.Pool(nm("b3_pool"), in, batch, inC, 8, 8, 3)
+
+	return b.Concat(nm("concat"), []*graph.Node{b1, b2, b3},
+		batch, []int64{320, 192, inC}, 8, 8)
+}
+
+// inceptionE: the paper's Fig. 5 module with nested branch splits at 8×8.
+func inceptionE(b *layers.B, tag string, in *graph.Node, batch, inC int64) *graph.Node {
+	nm := func(s string) string { return fmt.Sprintf("%s_%s", tag, s) }
+	b1 := b.Conv2D(nm("b1_1x1"), in, batch, inC, 8, 8, 320, 1, 1)
+
+	b2 := b.Conv2D(nm("b2_1x1"), in, batch, inC, 8, 8, 384, 1, 1)
+	b2a := b.Conv2D(nm("b2_1x3"), b2, batch, 384, 8, 8, 384, 1, 3)
+	b2b := b.Conv2D(nm("b2_3x1"), b2, batch, 384, 8, 8, 384, 3, 1)
+
+	b3 := b.Conv2D(nm("b3_1x1"), in, batch, inC, 8, 8, 448, 1, 1)
+	b3 = b.Conv2D(nm("b3_3x3"), b3, batch, 448, 8, 8, 384, 3, 3)
+	b3a := b.Conv2D(nm("b3_1x3"), b3, batch, 384, 8, 8, 384, 1, 3)
+	b3b := b.Conv2D(nm("b3_3x1"), b3, batch, 384, 8, 8, 384, 3, 1)
+
+	b4 := b.Pool(nm("b4_pool"), in, batch, inC, 8, 8, 3)
+	b4 = b.Conv2D(nm("b4_1x1"), b4, batch, inC, 8, 8, 192, 1, 1)
+
+	return b.Concat(nm("concat"), []*graph.Node{b1, b2a, b2b, b3a, b3b, b4},
+		batch, []int64{320, 384, 384, 384, 384, 192}, 8, 8)
+}

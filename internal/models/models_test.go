@@ -1,0 +1,159 @@
+package models
+
+import (
+	"testing"
+
+	"pase/internal/graph"
+	"pase/internal/seq"
+)
+
+func TestAlexNetIsPathGraph(t *testing.T) {
+	g := AlexNet(128)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 12 {
+		t.Fatalf("AlexNet has %d nodes, want 12", g.Len())
+	}
+	// A path graph has exactly two degree-1 endpoints and all else degree 2.
+	h := g.DegreeHistogram()
+	if h[1] != 2 || h[2] != g.Len()-2 {
+		t.Fatalf("AlexNet not a path graph: %v", h)
+	}
+}
+
+func TestAlexNetOrderingsBothCheap(t *testing.T) {
+	// Paper Table I: BF and GENERATESEQ behave alike on AlexNet (M = 1).
+	g := AlexNet(128)
+	if m := seq.Generate(g).MaxDepSize(); m != 1 {
+		t.Fatalf("GENERATESEQ M = %d, want 1", m)
+	}
+	if m := seq.BFS(g).MaxDepSize(); m != 1 {
+		t.Fatalf("BFS M = %d, want 1", m)
+	}
+}
+
+func TestInceptionV3Structure(t *testing.T) {
+	g := InceptionV3(128)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() < 100 {
+		t.Fatalf("InceptionV3 has only %d nodes", g.Len())
+	}
+	// The paper's Fig. 5 observation: mostly sparse with a few high-degree
+	// concat hubs.
+	hist := g.DegreeHistogram()
+	low, high := 0, 0
+	for d, c := range hist {
+		if d < 5 {
+			low += c
+		} else {
+			high += c
+		}
+	}
+	if high == 0 {
+		t.Fatal("expected high-degree concat vertices")
+	}
+	if low < 9*high {
+		t.Fatalf("graph not sparse enough: %d low vs %d high degree", low, high)
+	}
+}
+
+func TestInceptionV3GenerateSeqKeepsDependentSetsSmall(t *testing.T) {
+	// Paper §III-C: |D(i) ∪ {v(i)}| ≤ 3 under GENERATESEQ, vs ~10 for BF.
+	g := InceptionV3(128)
+	gen := seq.Summarize(seq.Generate(g))
+	if gen.MaxState > 3 {
+		t.Fatalf("GENERATESEQ max |D∪{v}| = %d, want ≤ 3", gen.MaxState)
+	}
+	bfs := seq.Summarize(seq.BFS(g))
+	if bfs.MaxDep <= gen.MaxDep {
+		t.Fatalf("BFS M=%d should exceed GENERATESEQ M=%d", bfs.MaxDep, gen.MaxDep)
+	}
+	if bfs.MaxDep < 4 {
+		t.Fatalf("BFS M=%d unexpectedly small", bfs.MaxDep)
+	}
+}
+
+func TestRNNLMIsPathGraphOfFourVertices(t *testing.T) {
+	g := RNNLM(64)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 4 {
+		t.Fatalf("RNNLM has %d nodes, want 4 (embedding, LSTM, FC, softmax)", g.Len())
+	}
+	if m := seq.Generate(g).MaxDepSize(); m != 1 {
+		t.Fatalf("RNNLM M = %d", m)
+	}
+	// The folded LSTM vertex has the paper's 5-D iteration space.
+	var lstm *graph.Node
+	for _, n := range g.Nodes {
+		if n.Op == graph.OpLSTM {
+			lstm = n
+		}
+	}
+	if lstm == nil || len(lstm.Space) != 5 {
+		t.Fatal("LSTM vertex missing or wrong arity")
+	}
+	if lstm.Space.Names() != "lbsde" {
+		t.Fatalf("LSTM dims = %q, want lbsde (paper Table II)", lstm.Space.Names())
+	}
+}
+
+func TestTransformerStructure(t *testing.T) {
+	g := Transformer(BaseTransformer(64))
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() < 100 {
+		t.Fatalf("Transformer has only %d nodes", g.Len())
+	}
+	// The encoder output must have a long live range: its degree is 2·Layers
+	// (every decoder layer's cross-attention K and V) + its own edges.
+	maxDeg := 0
+	for v := range g.Nodes {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 12 {
+		t.Fatalf("encoder output degree %d, want ≥ 12", maxDeg)
+	}
+}
+
+func TestDenseNetIsUniformlyDense(t *testing.T) {
+	g := DenseNet(128, 6)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper §V: no ordering keeps dependent sets small on DenseNet; the
+	// dense block should force M to grow with the block size.
+	m := seq.Generate(g).MaxDepSize()
+	if m < 3 {
+		t.Fatalf("DenseNet GENERATESEQ M = %d, expected ≥ 3", m)
+	}
+}
+
+func TestBenchmarksRegistry(t *testing.T) {
+	bms := Benchmarks()
+	if len(bms) != 4 {
+		t.Fatalf("want 4 benchmarks, got %d", len(bms))
+	}
+	for _, bm := range bms {
+		g := bm.Build(bm.Batch)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		if bm.Policy(8).MaxSplitDims < 0 {
+			t.Fatalf("%s: bad policy", bm.Name)
+		}
+	}
+	if _, err := ByName("rnnlm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}

@@ -1,0 +1,31 @@
+package models
+
+import (
+	"pase/internal/graph"
+	"pase/internal/layers"
+)
+
+// RNNLM builds the two-layer LSTM language model on the Billion-Word task
+// (paper: batch 64). The entire recurrent operator — both layers and all
+// recurrent steps — is a single vertex with the five-dimensional iteration
+// space (l, b, s, d, e), exactly as the paper models it: this shrinks the
+// graph to a simple path graph and lets configurations that split the layer
+// and sequence dims capture intra-layer pipeline parallelism.
+func RNNLM(batch int64) *graph.Graph {
+	const (
+		seqLen = 32
+		embed  = 1024
+		hidden = 2048
+		vocab  = 65536 // large LM vocabulary (scaled from Billion-Word to keep
+		// the replicated-embedding baseline finite on the simulated cluster)
+		nLayer = 2
+	)
+	b := layers.New()
+	emb := b.Embedding("embedding", batch, seqLen, embed, vocab)
+	lstm := b.LSTM("lstm", emb, nLayer, batch, seqLen, embed, hidden)
+	// The projection consumes the LSTM's [b, s, e] hidden state; its "d"
+	// dimension is the hidden width.
+	proj := b.Projection("fc", lstm, batch, seqLen, vocab, hidden)
+	b.SeqSoftmax("softmax", proj, batch, seqLen, vocab)
+	return b.G
+}

@@ -1,0 +1,88 @@
+package models
+
+import (
+	"fmt"
+
+	"pase/internal/graph"
+	"pase/internal/layers"
+)
+
+// TransformerConfig sizes the Vaswani et al. encoder-decoder NMT model.
+type TransformerConfig struct {
+	Batch    int64
+	SeqLen   int64
+	DModel   int64
+	Heads    int64
+	KVDim    int64
+	FFHidden int64
+	Vocab    int64
+	Layers   int
+}
+
+// BaseTransformer returns the WMT EN→DE configuration the paper evaluates
+// (batch 64).
+func BaseTransformer(batch int64) TransformerConfig {
+	return TransformerConfig{
+		Batch:    batch,
+		SeqLen:   64,
+		DModel:   1024,
+		Heads:    16,
+		KVDim:    64,
+		FFHidden: 4096,
+		Vocab:    32768,
+		Layers:   6,
+	}
+}
+
+// Transformer builds the full encoder-decoder graph. Unlike InceptionV3's
+// localized concat hubs, the encoder's final output has a long live range —
+// every decoder layer's cross-attention reads it — which is why the paper's
+// Table I shows FINDBESTSTRATEGY taking longer here and breadth-first
+// ordering running out of memory.
+func Transformer(cfg TransformerConfig) *graph.Graph {
+	b := layers.New()
+
+	encIn := b.Embedding("enc_embed", cfg.Batch, cfg.SeqLen, cfg.DModel, cfg.Vocab)
+	x := encIn
+	for i := 0; i < cfg.Layers; i++ {
+		x = attnBlock(b, fmt.Sprintf("enc%d_self", i), x, x, cfg)
+		x = ffnBlock(b, fmt.Sprintf("enc%d_ffn", i), x, cfg)
+	}
+	encOut := x
+
+	decIn := b.Embedding("dec_embed", cfg.Batch, cfg.SeqLen, cfg.DModel, cfg.Vocab)
+	y := decIn
+	for i := 0; i < cfg.Layers; i++ {
+		y = attnBlock(b, fmt.Sprintf("dec%d_self", i), y, y, cfg)
+		y = attnBlock(b, fmt.Sprintf("dec%d_cross", i), y, encOut, cfg)
+		y = ffnBlock(b, fmt.Sprintf("dec%d_ffn", i), y, cfg)
+	}
+
+	proj := b.Projection("fc", y, cfg.Batch, cfg.SeqLen, cfg.Vocab, cfg.DModel)
+	b.SeqSoftmax("softmax", proj, cfg.Batch, cfg.SeqLen, cfg.Vocab)
+	return b.G
+}
+
+// attnBlock appends a multi-head attention sublayer: Q from `from`, K and V
+// from `mem` (self-attention when mem == from, cross-attention otherwise),
+// followed by the output projection and a residual layer norm.
+func attnBlock(b *layers.B, tag string, from, mem *graph.Node, cfg TransformerConfig) *graph.Node {
+	nm := func(s string) string { return tag + "_" + s }
+	q := b.QKVProj(nm("q"), from, cfg.Batch, cfg.SeqLen, cfg.Heads, cfg.KVDim, cfg.DModel)
+	k := b.QKVProj(nm("k"), mem, cfg.Batch, cfg.SeqLen, cfg.Heads, cfg.KVDim, cfg.DModel)
+	v := b.QKVProj(nm("v"), mem, cfg.Batch, cfg.SeqLen, cfg.Heads, cfg.KVDim, cfg.DModel)
+	s := b.AttnScores(nm("qk"), q, k, cfg.Batch, cfg.Heads, cfg.SeqLen, cfg.SeqLen, cfg.KVDim)
+	a := b.AttnSoftmax(nm("softmax"), s, cfg.Batch, cfg.Heads, cfg.SeqLen, cfg.SeqLen)
+	ctx := b.AttnContext(nm("av"), a, v, cfg.Batch, cfg.Heads, cfg.SeqLen, cfg.KVDim, cfg.SeqLen)
+	o := b.OutProj(nm("wo"), ctx, cfg.Batch, cfg.SeqLen, cfg.DModel, cfg.Heads, cfg.KVDim)
+	return b.LayerNorm(nm("norm"), o, from, cfg.Batch, cfg.SeqLen, cfg.DModel)
+}
+
+// ffnBlock appends the position-wise feed-forward sublayer with its residual
+// layer norm.
+func ffnBlock(b *layers.B, tag string, from *graph.Node, cfg TransformerConfig) *graph.Node {
+	nm := func(s string) string { return tag + "_" + s }
+	f1 := b.FFN(nm("ff1"), from, cfg.Batch, cfg.SeqLen, cfg.FFHidden, cfg.DModel, "e", "d")
+	f2 := b.FFN(nm("ff2"), f1, cfg.Batch, cfg.SeqLen, cfg.DModel, cfg.FFHidden, "d", "e")
+	return b.LayerNorm(nm("norm"), f2, from, cfg.Batch, cfg.SeqLen, cfg.DModel)
+}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderAligns(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"model", "p", "cost"}}
+	tb.Add("AlexNet", 8, 1.5)
+	tb.Add("InceptionV3", 64, 0.25)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "AlexNet") || !strings.Contains(out, "InceptionV3") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if len(lines[3]) != len(lines[4]) {
+		t.Fatalf("rows not aligned:\n%s", out)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.Add(`x,y`, `he said "hi"`)
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestDurationFormat(t *testing.T) {
+	cases := map[time.Duration]string{
+		226 * time.Millisecond:                "0:00.226",
+		14*time.Second + 398*time.Millisecond: "0:14.398",
+		31*time.Minute + 23*time.Second:       "31:23.000",
+	}
+	for d, want := range cases {
+		if got := Duration(d); got != want {
+			t.Fatalf("Duration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

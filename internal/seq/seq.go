@@ -1,0 +1,219 @@
+// Package seq implements the vertex-ordering machinery of PaSE Section III:
+// the GENERATESEQ algorithm (paper Fig. 3) that orders vertices so the
+// dynamic program's dependent sets stay small, the breadth-first baseline
+// ordering of Section III-A, and the from-definition dependent-set / connected-
+// set computations used both by the solver and as a testing oracle for the
+// paper's Theorem 2.
+package seq
+
+import (
+	"sort"
+
+	"pase/internal/graph"
+)
+
+// Sequence is an ordering V of the graph's vertices together with the
+// dependent set D(i) of every position, as produced by GENERATESEQ (for
+// which Theorem 2 guarantees the incremental sets equal the definitional
+// ones) or recomputed from the definition for arbitrary orderings.
+type Sequence struct {
+	// Order[i] is the node ID of v(i+1) (0-based positions).
+	Order []int
+	// Pos[v] is the position of node v in Order.
+	Pos []int
+	// Dep[i] is D(i+1): the node IDs of the dependent set of the vertex at
+	// position i, sorted by position.
+	Dep [][]int
+}
+
+// MaxDepSize returns the paper's M: the largest dependent-set cardinality.
+func (s *Sequence) MaxDepSize() int {
+	m := 0
+	for _, d := range s.Dep {
+		if len(d) > m {
+			m = len(d)
+		}
+	}
+	return m
+}
+
+// Generate runs GENERATESEQ (paper Fig. 3): dependent sets start as the
+// vertex neighbourhoods; at each step the unsequenced vertex with the
+// smallest current dependent set is appended, and the sets of its dependents
+// absorb its remaining dependents. Ties break on lower node ID for
+// determinism. The returned dependent sets are the incrementally maintained
+// v.d, which Theorem 2 proves equal to D(i).
+func Generate(g *graph.Graph) *Sequence {
+	n := g.Len()
+	d := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		d[v] = map[int]bool{}
+		for _, w := range g.Neighbors(v) {
+			d[v][w] = true
+		}
+	}
+	inSeq := make([]bool, n)
+	s := &Sequence{
+		Order: make([]int, 0, n),
+		Pos:   make([]int, n),
+		Dep:   make([][]int, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		// Line 5: pick the unsequenced node with minimum |u.d|.
+		best, bestSize := -1, 1<<31-1
+		for u := 0; u < n; u++ {
+			if inSeq[u] {
+				continue
+			}
+			if sz := len(d[u]); sz < bestSize {
+				best, bestSize = u, sz
+			}
+		}
+		vi := best
+		inSeq[vi] = true
+		s.Order = append(s.Order, vi)
+		s.Pos[vi] = i
+
+		// Lines 7-9: for all v in v(i).d, v.d ← v.d ∪ v(i).d − {v(i)}.
+		members := make([]int, 0, len(d[vi]))
+		for w := range d[vi] {
+			members = append(members, w)
+		}
+		for _, v := range members {
+			for _, w := range members {
+				if w != v {
+					d[v][w] = true
+				}
+			}
+			delete(d[v], vi)
+		}
+
+		dep := make([]int, 0, len(d[vi]))
+		for w := range d[vi] {
+			dep = append(dep, w)
+		}
+		sort.Ints(dep)
+		s.Dep = append(s.Dep, dep)
+	}
+	sortDepsByPos(s)
+	return s
+}
+
+// FromOrder builds a Sequence for an arbitrary vertex ordering (e.g. the
+// breadth-first baseline), computing every dependent set from the definition
+// D(i) = N(X(i)) ∩ V>i.
+func FromOrder(g *graph.Graph, order []int) *Sequence {
+	n := g.Len()
+	s := &Sequence{Order: append([]int(nil), order...), Pos: make([]int, n), Dep: make([][]int, n)}
+	for i, v := range order {
+		s.Pos[v] = i
+	}
+	for i := range order {
+		s.Dep[i] = DependentSet(g, s, i)
+	}
+	sortDepsByPos(s)
+	return s
+}
+
+// BFS returns the breadth-first baseline sequence of Section III-A. For it,
+// X(i) = V≤i, so D(i) equals the naive DB(i) = N(V≤i) ∩ V>i.
+func BFS(g *graph.Graph) *Sequence {
+	return FromOrder(g, g.BFSOrder())
+}
+
+func sortDepsByPos(s *Sequence) {
+	for i := range s.Dep {
+		dep := s.Dep[i]
+		sort.Slice(dep, func(a, b int) bool { return s.Pos[dep[a]] < s.Pos[dep[b]] })
+	}
+}
+
+// ConnectedSet computes X(i): the vertices of V≤i connected to v(i) through
+// paths confined to V≤i (paper Section III-B definition a).
+func ConnectedSet(g *graph.Graph, s *Sequence, i int) map[int]bool {
+	allowed := map[int]bool{}
+	for j := 0; j <= i; j++ {
+		allowed[s.Order[j]] = true
+	}
+	return g.ReachableWithin(allowed, s.Order[i])
+}
+
+// DependentSet computes D(i) = N(X(i)) ∩ V>i from the definition, sorted by
+// node ID (paper Section III-B definition b).
+func DependentSet(g *graph.Graph, s *Sequence, i int) []int {
+	x := ConnectedSet(g, s, i)
+	seen := map[int]bool{}
+	var dep []int
+	for v := range x {
+		for _, w := range g.Neighbors(v) {
+			if s.Pos[w] > i && !x[w] && !seen[w] {
+				seen[w] = true
+				dep = append(dep, w)
+			}
+		}
+	}
+	sort.Ints(dep)
+	return dep
+}
+
+// ConnectedSubsets computes S(i): the vertex sets of the connected components
+// of the subgraph induced by X(i) − {v(i)} within V<i (paper Section III-B
+// definition c). Each subset is returned with its members sorted by position;
+// subsets are ordered by their maximal position (the j used for table
+// lookups in recurrence 4).
+func ConnectedSubsets(g *graph.Graph, s *Sequence, i int) [][]int {
+	x := ConnectedSet(g, s, i)
+	delete(x, s.Order[i])
+	allowed := map[int]bool{}
+	for v := range x {
+		if s.Pos[v] < i {
+			allowed[v] = true
+		}
+	}
+	visited := map[int]bool{}
+	var subsets [][]int
+	for j := 0; j < i; j++ { // deterministic scan by position
+		v := s.Order[j]
+		if !allowed[v] || visited[v] {
+			continue
+		}
+		comp := g.ReachableWithin(allowed, v)
+		var members []int
+		for w := range comp {
+			visited[w] = true
+			members = append(members, w)
+		}
+		sort.Slice(members, func(a, b int) bool { return s.Pos[members[a]] < s.Pos[members[b]] })
+		subsets = append(subsets, members)
+	}
+	sort.Slice(subsets, func(a, b int) bool {
+		return s.Pos[subsets[a][len(subsets[a])-1]] < s.Pos[subsets[b][len(subsets[b])-1]]
+	})
+	return subsets
+}
+
+// Stats summarizes a sequence for the paper's Fig. 5 discussion.
+type Stats struct {
+	// MaxDep is M = max |D(i)|.
+	MaxDep int
+	// MaxState is max |D(i) ∪ {v(i)}|, the paper's ≤ 3 claim for
+	// InceptionV3 under GENERATESEQ.
+	MaxState int
+	// DepHistogram[k] counts positions with |D(i)| = k.
+	DepHistogram map[int]int
+}
+
+// Summarize computes ordering statistics.
+func Summarize(s *Sequence) Stats {
+	st := Stats{DepHistogram: map[int]int{}}
+	for _, d := range s.Dep {
+		st.DepHistogram[len(d)]++
+		if len(d) > st.MaxDep {
+			st.MaxDep = len(d)
+		}
+		if len(d)+1 > st.MaxState {
+			st.MaxState = len(d) + 1
+		}
+	}
+	return st
+}

@@ -1,0 +1,84 @@
+// Package sim simulates one training step of a (graph, strategy, cluster)
+// triple — the substitute for the paper's real 1080Ti / 2080Ti testbeds
+// (DESIGN.md §3). Communication is priced against the cluster topology:
+// collectives that fit inside a node ride the PCIe links (direct
+// peer-to-peer on 1080Ti, staged through host memory on 2080Ti), larger
+// groups run hierarchical intra+inter-node phases gated by InfiniBand,
+// bucketed gradient all-reduce overlaps the backward pass, and every message
+// pays a latency. Compute uses a derated sustained throughput, and each step
+// carries a fixed framework overhead.
+//
+// The per-layer and per-edge pricing is shared with the cost model
+// (cost.TLParts, cost.TXSeconds), so a strategy's simulated step time equals
+// its model cost plus the constant overhead — cost-model rankings transfer
+// to simulated throughput exactly, the property the paper requires of its
+// cost function (§II).
+package sim
+
+import (
+	"fmt"
+
+	"pase/internal/cost"
+	"pase/internal/graph"
+	"pase/internal/machine"
+)
+
+// Result summarizes a simulated training step.
+type Result struct {
+	// StepSeconds is the simulated wall-clock time of one step (including
+	// the fixed framework overhead).
+	StepSeconds float64
+	// ComputeSeconds and CommSeconds decompose the variable part.
+	ComputeSeconds float64
+	CommSeconds    float64
+	// Throughput is samples/second given the batch size.
+	Throughput float64
+}
+
+// Step simulates one training step of the strategy on the cluster.
+func Step(g *graph.Graph, s graph.Strategy, spec machine.Spec, batch int64) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := s.Validate(g, spec.Devices); err != nil {
+		return Result{}, err
+	}
+	var res Result
+
+	// Layers: per-device compute plus visible intra-layer communication
+	// (gradient sync overlap already folded in by cost.TLParts). Layers run
+	// serially — the cost model and the paper both ignore inter-layer
+	// overlap — so per-device times add up.
+	for _, n := range g.Nodes {
+		compute, comm := cost.TLParts(n, s[n.ID], spec)
+		res.ComputeSeconds += compute
+		res.CommSeconds += comm
+	}
+
+	// Edges: tensor redistribution between differently-sharded layers.
+	for _, e := range g.Edges() {
+		u, v := g.Nodes[e[0]], g.Nodes[e[1]]
+		res.CommSeconds += cost.TXSeconds(u, v, g.InputIndex(e[0], e[1]), s[e[0]], s[e[1]], spec)
+	}
+
+	res.StepSeconds = res.ComputeSeconds + res.CommSeconds + spec.OverheadSec
+	if res.StepSeconds <= 0 {
+		return Result{}, fmt.Errorf("sim: non-positive step time")
+	}
+	res.Throughput = float64(batch) / res.StepSeconds
+	return res, nil
+}
+
+// Speedup returns the throughput ratio of strategy s over the baseline
+// strategy base on the same cluster — the y-axis of the paper's Fig. 6.
+func Speedup(g *graph.Graph, s, base graph.Strategy, spec machine.Spec, batch int64) (float64, error) {
+	rs, err := Step(g, s, spec, batch)
+	if err != nil {
+		return 0, fmt.Errorf("sim: strategy: %w", err)
+	}
+	rb, err := Step(g, base, spec, batch)
+	if err != nil {
+		return 0, fmt.Errorf("sim: baseline: %w", err)
+	}
+	return rs.Throughput / rb.Throughput, nil
+}

@@ -1,0 +1,295 @@
+// Package pase is the public API of this reproduction of "PaSE:
+// Parallelization Strategies for Efficient DNN Training" (Elango, IPDPS
+// 2021). It finds efficient hybrid data+parameter parallelization strategies
+// for DNN computation graphs via the paper's dependent-set dynamic program,
+// and ships the baselines (data parallelism, expert strategies, an MCMC
+// search standing in for FlexFlow), the paper's four benchmark models, and a
+// cluster step-time simulator for end-to-end comparisons.
+//
+// Quick start:
+//
+//	g := pase.AlexNet(128)
+//	res, err := pase.Find(g, pase.GTX1080Ti(32), pase.Options{})
+//	// res.Strategy[nodeID] is the per-layer parallelization configuration.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-reproduction comparison.
+package pase
+
+import (
+	"io"
+	"time"
+
+	"pase/internal/assign"
+	"pase/internal/core"
+	"pase/internal/cost"
+	"pase/internal/export"
+	"pase/internal/graph"
+	"pase/internal/itspace"
+	"pase/internal/layers"
+	"pase/internal/machine"
+	"pase/internal/mcmc"
+	"pase/internal/memory"
+	"pase/internal/models"
+	"pase/internal/seq"
+	"pase/internal/sim"
+	"pase/internal/strategies"
+)
+
+// Re-exported core types. The internal packages hold the implementations;
+// these aliases are the stable public surface.
+type (
+	// Graph is a DNN computation graph (paper §II).
+	Graph = graph.Graph
+	// Node is one layer of a computation graph.
+	Node = graph.Node
+	// Strategy assigns a parallelization configuration to every node.
+	Strategy = graph.Strategy
+	// Config is a parallelization configuration: per-iteration-dim split
+	// factors with product ≤ p.
+	Config = itspace.Config
+	// Space is a layer's iteration space.
+	Space = itspace.Space
+	// Dim is one named iteration-space dimension.
+	Dim = itspace.Dim
+	// EnumPolicy controls configuration enumeration.
+	EnumPolicy = itspace.EnumPolicy
+	// Machine describes the cluster (devices, FLOPS, bandwidths).
+	Machine = machine.Spec
+	// Model binds a graph to a machine and memoizes all costs.
+	Model = cost.Model
+	// StepResult is a simulated training-step outcome.
+	StepResult = sim.Result
+	// Benchmark is one of the paper's evaluation models plus its metadata.
+	Benchmark = models.Benchmark
+	// TransformerConfig sizes the Transformer benchmark.
+	TransformerConfig = models.TransformerConfig
+	// Builder constructs computation graphs layer by layer (conv, FC, LSTM,
+	// attention, concat, ...). Access the finished graph via Builder.G.
+	Builder = layers.B
+)
+
+// NewBuilder returns a graph builder over a fresh computation graph.
+func NewBuilder() *Builder { return layers.New() }
+
+// Machine profiles of the paper's two evaluation platforms and a custom one.
+var (
+	// GTX1080Ti models the paper's first platform: 8 GPUs per node with
+	// peer-to-peer PCIe, InfiniBand between nodes.
+	GTX1080Ti = machine.GTX1080Ti
+	// RTX2080Ti models the second platform: higher compute peak, no PCIe
+	// peer-to-peer (lower machine balance, bigger hybrid-parallelism wins).
+	RTX2080Ti = machine.RTX2080Ti
+	// UniformMachine builds a single-link-class machine from raw numbers.
+	UniformMachine = machine.Uniform
+)
+
+// The paper's benchmark models.
+var (
+	// AlexNet builds the 5-conv/3-FC path-graph CNN.
+	AlexNet = models.AlexNet
+	// InceptionV3 builds the inception CNN with high-degree concat hubs.
+	InceptionV3 = models.InceptionV3
+	// RNNLM builds the 2-layer LSTM language model (folded RNN vertex).
+	RNNLM = models.RNNLM
+	// Transformer builds the encoder-decoder NMT model.
+	Transformer = models.Transformer
+	// BaseTransformer returns the paper's WMT EN→DE configuration.
+	BaseTransformer = models.BaseTransformer
+	// DenseNet builds the §V dense-graph worst case.
+	DenseNet = models.DenseNet
+	// VGG16 builds the parameter-heavy path-graph CNN (extra model).
+	VGG16 = models.VGG16
+	// GNMT builds a GNMT-style attentional encoder-decoder LSTM (the
+	// workload the paper's introduction motivates; extra model).
+	GNMT = models.GNMT
+	// Benchmarks lists the paper's four evaluation models.
+	Benchmarks = models.Benchmarks
+	// BenchmarkByName looks a benchmark up by name.
+	BenchmarkByName = models.ByName
+)
+
+// Options tunes Find.
+type Options struct {
+	// Policy restricts configuration enumeration (zero value: the paper's
+	// divisibility rule only).
+	Policy EnumPolicy
+	// MaxTableEntries bounds DP table memory; exceeding it returns
+	// core.ErrOOM. Zero selects the default (~16M entries).
+	MaxTableEntries int64
+	// BreadthFirst switches to the naive Section III-A ordering (the
+	// baseline that OOMs on InceptionV3/Transformer). Default: GENERATESEQ.
+	BreadthFirst bool
+	// Workers parallelizes each vertex's DP-table fill across goroutines
+	// (an extension over the paper's single-threaded prototype; results are
+	// identical at any worker count). Zero or one runs serially.
+	Workers int
+}
+
+// Result is a found strategy with its cost and search statistics.
+type Result struct {
+	// Strategy is the best strategy found.
+	Strategy Strategy
+	// Cost is F(G, φ) in FLOP units (divide by peak FLOPS for seconds).
+	Cost float64
+	// SearchTime is how long the search took.
+	SearchTime time.Duration
+	// MaxDepSize is the paper's M for the ordering used.
+	MaxDepSize int
+	// States is the number of (φ, C) combinations the DP evaluated.
+	States int64
+}
+
+// ErrOOM is returned when the DP tables exceed the memory budget (the
+// paper's Table I "OOM" outcome for breadth-first ordering).
+var ErrOOM = core.ErrOOM
+
+// NewModel binds a graph to a machine under an enumeration policy,
+// memoizing layer and edge costs.
+func NewModel(g *Graph, spec Machine, pol EnumPolicy) (*Model, error) {
+	return cost.NewModel(g, spec, pol)
+}
+
+// Find runs the paper's FINDBESTSTRATEGY on the graph for the machine,
+// returning the minimum-cost strategy under the analytic cost model.
+func Find(g *Graph, spec Machine, opts Options) (*Result, error) {
+	m, err := cost.NewModel(g, spec, opts.Policy)
+	if err != nil {
+		return nil, err
+	}
+	return FindWithModel(m, opts)
+}
+
+// FindWithModel is Find over a prebuilt model (reuse it to amortize cost
+// memoization across calls).
+func FindWithModel(m *Model, opts Options) (*Result, error) {
+	start := time.Now()
+	var sq *seq.Sequence
+	if opts.BreadthFirst {
+		sq = seq.BFS(m.G)
+	} else {
+		sq = seq.Generate(m.G)
+	}
+	res, err := core.Solve(m, sq, core.Options{
+		MaxTableEntries: opts.MaxTableEntries,
+		Workers:         opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Strategy:   res.Strategy,
+		Cost:       res.Cost,
+		SearchTime: time.Since(start),
+		MaxDepSize: res.Stats.MaxDepSize,
+		States:     res.Stats.States,
+	}, nil
+}
+
+// DataParallelStrategy returns the standard-practice baseline: every layer's
+// batch dimension split across all devices.
+func DataParallelStrategy(g *Graph, p int) Strategy {
+	return strategies.DataParallel(g, p)
+}
+
+// ExpertStrategy returns the paper's expert-designed baseline for a model
+// family: "cnn" (one weird trick), "rnn" (data+pipeline), or "transformer"
+// (Mesh-TensorFlow hybrid).
+func ExpertStrategy(family string, g *Graph, p int) (Strategy, error) {
+	return strategies.Expert(family, g, p)
+}
+
+// MCMCOptions tunes the FlexFlow-style search.
+type MCMCOptions = mcmc.Options
+
+// MCMCSearch runs the FlexFlow-substitute MCMC strategy search from an
+// initial strategy, using the same cost model as Find.
+func MCMCSearch(m *Model, init Strategy, opts MCMCOptions) (*Result, error) {
+	idx, err := m.IdxFromStrategy(init)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	r, err := mcmc.Search(m, idx, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Strategy:   m.StrategyFromIdx(r.BestIdx),
+		Cost:       r.BestCost,
+		SearchTime: time.Since(start),
+		States:     int64(r.Iters),
+	}, nil
+}
+
+// StrategyCost evaluates F(G, φ) for any valid strategy under the model.
+func StrategyCost(m *Model, s Strategy) (float64, error) { return m.Eval(s) }
+
+// Simulate runs the cluster step-time simulator for a strategy, the
+// substitute for the paper's real-hardware throughput measurements.
+func Simulate(g *Graph, s Strategy, spec Machine, batch int64) (StepResult, error) {
+	return sim.Step(g, s, spec, batch)
+}
+
+// SimulatedSpeedup returns the throughput ratio of strategy s over base on
+// the cluster — the paper's Fig. 6 metric (speedup over data parallelism).
+func SimulatedSpeedup(g *Graph, s, base Strategy, spec Machine, batch int64) (float64, error) {
+	return sim.Speedup(g, s, base, spec, batch)
+}
+
+// OrderingStats reports the paper's Fig. 5 ordering quality metrics: M under
+// GENERATESEQ and under breadth-first ordering, plus the max configuration
+// count K for p devices.
+func OrderingStats(g *Graph, spec Machine, pol EnumPolicy) (genM, bfM, maxK int, err error) {
+	m, err := cost.NewModel(g, spec, pol)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return seq.Generate(g).MaxDepSize(), seq.BFS(g).MaxDepSize(), m.MaxK(), nil
+}
+
+// Footprint is a per-device memory estimate (paper §II: tensors + parameters
+// + communication buffers).
+type Footprint = memory.Footprint
+
+// MemoryFootprint estimates the per-device memory a strategy needs,
+// making the paper's "minimizing time indirectly minimizes space" argument
+// checkable.
+func MemoryFootprint(g *Graph, s Strategy) (Footprint, error) {
+	return memory.Estimate(g, s)
+}
+
+// DeviceAssignment is a concrete greedy locality-maximizing mapping of
+// tensor blocks to devices (paper §II).
+type DeviceAssignment = assign.Assignment
+
+// AssignDevices computes the greedy locality-maximizing device assignment
+// for a strategy on p devices (p and all split factors powers of two).
+func AssignDevices(g *Graph, s Strategy, p int) (*DeviceAssignment, error) {
+	return assign.Build(g, s, p)
+}
+
+// StrategyDocument is the JSON interchange form of a strategy, for hand-off
+// to execution frameworks (Mesh-TensorFlow / GShard style, paper §VI).
+type StrategyDocument = export.Document
+
+// ExportStrategy serializes a strategy for an execution framework.
+func ExportStrategy(model string, g *Graph, s Strategy, devices int, costSeconds float64) (*StrategyDocument, error) {
+	return export.FromStrategy(model, g, s, devices, costSeconds)
+}
+
+// ImportStrategy parses a strategy document and validates it against the
+// graph.
+func ImportStrategy(r io.Reader, g *Graph) (Strategy, error) {
+	doc, err := export.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return doc.ToStrategy(g)
+}
+
+// HeterogeneousMachine combines device pools using the paper's §V
+// weakest-node bottleneck rule.
+func HeterogeneousMachine(specs ...Machine) (Machine, error) {
+	return machine.Heterogeneous(specs...)
+}

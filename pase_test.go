@@ -1,0 +1,152 @@
+package pase
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFindOnAlexNet(t *testing.T) {
+	g := AlexNet(128)
+	res, err := Find(g, GTX1080Ti(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost <= 0 || len(res.Strategy) != g.Len() {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if err := res.Strategy.Validate(g, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindBeatsBaselinesOnEveryBenchmark(t *testing.T) {
+	// The paper's headline claim (§IV): PaSE's strategies outperform data
+	// parallelism in all cases, and do at least as well as the expert
+	// strategies and the MCMC search under the cost model.
+	const p = 16
+	for _, bm := range Benchmarks() {
+		g := bm.Build(bm.Batch)
+		m, err := NewModel(g, GTX1080Ti(p), bm.Policy(p))
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		res, err := FindWithModel(m, Options{Policy: bm.Policy(p)})
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		dpCost, err := StrategyCost(m, DataParallelStrategy(g, p))
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		if res.Cost >= dpCost {
+			t.Fatalf("%s: PaSE %.3e not below data parallelism %.3e", bm.Name, res.Cost, dpCost)
+		}
+		exp, err := ExpertStrategy(bm.Family, g, p)
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		expCost, err := StrategyCost(m, exp)
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		if res.Cost > expCost*(1+1e-9) {
+			t.Fatalf("%s: PaSE %.3e worse than expert %.3e", bm.Name, res.Cost, expCost)
+		}
+	}
+}
+
+func TestBreadthFirstOOMsOnInception(t *testing.T) {
+	// Paper Table I: BF ordering runs out of memory on InceptionV3.
+	g := InceptionV3(128)
+	_, err := Find(g, GTX1080Ti(8), Options{BreadthFirst: true})
+	if !errors.Is(err, ErrOOM) {
+		t.Fatalf("want ErrOOM, got %v", err)
+	}
+}
+
+func TestBreadthFirstMatchesOnAlexNet(t *testing.T) {
+	// Paper Table I: on path graphs both orderings find the optimum.
+	g := AlexNet(128)
+	a, err := Find(g, GTX1080Ti(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Find(g, GTX1080Ti(8), Options{BreadthFirst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("orderings disagree: %v vs %v", a.Cost, b.Cost)
+	}
+}
+
+func TestMCMCSearchFromExpert(t *testing.T) {
+	g := AlexNet(128)
+	m, err := NewModel(g, GTX1080Ti(8), EnumPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ExpertStrategy("cnn", g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expCost, err := StrategyCost(m, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MCMCSearch(m, exp, MCMCOptions{Seed: 1, MaxIters: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > expCost {
+		t.Fatalf("MCMC worsened its initial candidate: %v > %v", res.Cost, expCost)
+	}
+	best, err := FindWithModel(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost < best.Cost-1e-6*best.Cost {
+		t.Fatalf("MCMC beat the DP optimum: %v < %v", res.Cost, best.Cost)
+	}
+}
+
+func TestSimulateAndSpeedup(t *testing.T) {
+	g := AlexNet(128)
+	res, err := Find(g, RTX2080Ti(32), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := DataParallelStrategy(g, 32)
+	sp, err := SimulatedSpeedup(g, res.Strategy, dp, RTX2080Ti(32), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= 1 {
+		t.Fatalf("PaSE speedup over DP = %.3f on 2080Ti, want > 1", sp)
+	}
+	step, err := Simulate(g, res.Strategy, RTX2080Ti(32), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Throughput <= 0 {
+		t.Fatalf("bad step: %+v", step)
+	}
+}
+
+func TestOrderingStats(t *testing.T) {
+	g := InceptionV3(128)
+	genM, bfM, maxK, err := OrderingStats(g, GTX1080Ti(8), EnumPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if genM+1 > 3 {
+		t.Fatalf("GENERATESEQ |D∪{v}| = %d, paper says ≤ 3", genM+1)
+	}
+	if bfM <= genM {
+		t.Fatalf("BF M=%d should exceed GENERATESEQ M=%d", bfM, genM)
+	}
+	// Paper §III-C: K between 10 and 30 per vertex at p=8... MaxK is the max.
+	if maxK < 10 || maxK > 100 {
+		t.Fatalf("K = %d out of the paper's reported range", maxK)
+	}
+}
