@@ -136,6 +136,31 @@ func BenchmarkFig5_GenerateSeq(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveWorkers scales the DP fill across worker counts on the
+// largest paper solve (Transformer, p=32). The model is prebuilt so only the
+// solve is timed; results are byte-identical at every worker count.
+func BenchmarkSolveWorkers(b *testing.B) {
+	bm, err := BenchmarkByName("transformer")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const p = 32
+	g := bm.Build(bm.Batch)
+	m, err := NewModel(g, GTX1080Ti(p), bm.Policy(p))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := FindWithModel(m, Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkFig6(b *testing.B) {
 	gpus := []struct {
 		name string

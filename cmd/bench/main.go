@@ -1,0 +1,192 @@
+// Command bench measures the solver's hot paths outside the `go test`
+// harness and writes the results as JSON, giving successive PRs a stable
+// perf trajectory to compare against.
+//
+// Usage:
+//
+//	go run ./cmd/bench                      # writes BENCH_solver.json
+//	go run ./cmd/bench -out - -reps 5       # print JSON to stdout, 5 reps
+//
+// Measured families (minimum wall time over -reps runs):
+//
+//   - TableI_PaSE/<model>/p=<p>: model build + FINDBESTSTRATEGY, the paper's
+//     Table I strategy-search time.
+//   - Fig5_GenerateSeq/<model>: the GENERATESEQ ordering alone.
+//   - SolveWorkers/workers=<n>: the DP solve on a prebuilt Transformer p=32
+//     model across worker counts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pase"
+	"pase/internal/seq"
+)
+
+// Result is one measured benchmark.
+type Result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Reps    int     `json:"reps"`
+	// Extra carries benchmark-specific metrics (e.g. maxDepSize, states).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the BENCH_solver.json schema.
+type Report struct {
+	Schema     string `json:"schema"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Notes carries free-form context, e.g. the pre-change baseline the
+	// run is being compared against.
+	Notes   string   `json:"notes,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func measure(reps int, f func() error) (float64, error) {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()), nil
+}
+
+func run(out string, reps, p int, notes string) error {
+	rep := Report{
+		Schema:     "pase-bench/v1",
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Notes:      notes,
+	}
+
+	// Table I: full search (model build + solve) per paper benchmark.
+	for _, bm := range pase.Benchmarks() {
+		g := bm.Build(bm.Batch)
+		var states int64
+		ns, err := measure(reps, func() error {
+			m, err := pase.NewModel(g, pase.GTX1080Ti(p), bm.Policy(p))
+			if err != nil {
+				return err
+			}
+			res, err := pase.FindWithModel(m, pase.Options{})
+			if err != nil {
+				return err
+			}
+			states = res.States
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("TableI %s: %w", bm.Name, err)
+		}
+		rep.Results = append(rep.Results, Result{
+			Name:    fmt.Sprintf("TableI_PaSE/%s/p=%d", bm.Name, p),
+			NsPerOp: ns,
+			Reps:    reps,
+			Extra:   map[string]float64{"states": float64(states)},
+		})
+	}
+
+	// Fig. 5: the GENERATESEQ ordering on the structurally hard graphs.
+	for _, e := range []struct {
+		name  string
+		build func() *pase.Graph
+	}{
+		{"InceptionV3", func() *pase.Graph { return pase.InceptionV3(128) }},
+		{"Transformer", func() *pase.Graph { return pase.Transformer(pase.BaseTransformer(64)) }},
+		{"DenseNet", func() *pase.Graph { return pase.DenseNet(128, 8) }},
+	} {
+		g := e.build()
+		maxDep := 0
+		ns, err := measure(reps, func() error {
+			maxDep = seq.Generate(g).MaxDepSize()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, Result{
+			Name:    "Fig5_GenerateSeq/" + e.name,
+			NsPerOp: ns,
+			Reps:    reps,
+			Extra:   map[string]float64{"maxDepSize": float64(maxDep)},
+		})
+	}
+
+	// Worker scaling on a prebuilt Transformer p=32 model: solve time only.
+	tbm, err := pase.BenchmarkByName("transformer")
+	if err != nil {
+		return err
+	}
+	tg := tbm.Build(tbm.Batch)
+	tm, err := pase.NewModel(tg, pase.GTX1080Ti(32), tbm.Policy(32))
+	if err != nil {
+		return err
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		ns, err := measure(reps, func() error {
+			_, err := pase.FindWithModel(tm, pase.Options{Workers: workers})
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("SolveWorkers %d: %w", workers, err)
+		}
+		rep.Results = append(rep.Results, Result{
+			Name:    fmt.Sprintf("SolveWorkers/workers=%d", workers),
+			NsPerOp: ns,
+			Reps:    reps,
+		})
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-40s %14.0f ns/op\n", r.Name, r.NsPerOp)
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_solver.json", "output path, or - for stdout")
+		reps  = flag.Int("reps", 3, "repetitions per benchmark (minimum is reported)")
+		p     = flag.Int("p", 32, "device count for the Table I solves")
+		notes = flag.String("notes", "", "free-form context embedded in the report")
+	)
+	flag.Parse()
+	if *reps < 1 {
+		fmt.Fprintln(os.Stderr, "bench: -reps must be >= 1")
+		os.Exit(2)
+	}
+	if err := run(*out, *reps, *p, *notes); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module pase
+
+go 1.24

@@ -18,7 +18,7 @@ func TestParallelSolverMatchesSerial(t *testing.T) {
 		g := randomDNNGraph(rng, 5+rng.Intn(5))
 		for _, workers := range []int{2, 4, 8} {
 			m1 := newModel(t, g, 8)
-			serial, err := FindBestStrategy(m1, Options{})
+			serial, err := FindBestStrategy(m1, Options{Workers: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -40,8 +40,9 @@ func TestParallelSolverMatchesSerial(t *testing.T) {
 	}
 }
 
-// Race check on a real model (run under -race in CI): the parallel fill
-// shares only read-only state across goroutines.
+// Race check on a real model (run under -race in CI): NewModel builds its
+// cost tables across a worker pool and the parallel fill shares only
+// read-only state across goroutines.
 func TestParallelSolverOnInception(t *testing.T) {
 	g := models.InceptionV3(128)
 	m, err := cost.NewModel(g, machine.GTX1080Ti(8), itspace.EnumPolicy{})
@@ -56,11 +57,74 @@ func TestParallelSolverOnInception(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ser, err := FindBestStrategy(m2, Options{})
+	ser, err := FindBestStrategy(m2, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if par.Cost != ser.Cost {
 		t.Fatalf("parallel %v != serial %v", par.Cost, ser.Cost)
+	}
+}
+
+// Workers=1 and Workers=N must produce byte-identical results — cost AND
+// per-node configuration choices — on all four paper benchmarks, not just
+// random graphs: the default is now parallel, so the determinism guarantee
+// is what makes it safe.
+func TestWorkersByteIdenticalOnPaperBenchmarks(t *testing.T) {
+	const p = 8
+	for _, bm := range models.Benchmarks() {
+		t.Run(bm.Name, func(t *testing.T) {
+			g := bm.Build(bm.Batch)
+			m, err := cost.NewModel(g, machine.GTX1080Ti(p), bm.Policy(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := FindBestStrategy(m, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{0, 4} { // 0 = GOMAXPROCS default
+				par, err := FindBestStrategy(m, Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par.Cost != serial.Cost {
+					t.Fatalf("workers=%d: cost %v != serial %v", workers, par.Cost, serial.Cost)
+				}
+				for v := range serial.Idx {
+					if par.Idx[v] != serial.Idx[v] {
+						t.Fatalf("workers=%d node %d: config %d != serial %d",
+							workers, v, par.Idx[v], serial.Idx[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// With liveness-based freeing, the peak live entry count must be reported
+// and can sit well under the total ever allocated; the budget bounds the
+// peak, so a budget between peak and total must now succeed.
+func TestTableLivenessShrinksPeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomDNNGraph(rng, 12)
+	m := newModel(t, g, 8)
+	res, err := FindBestStrategy(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PeakLiveEntries <= 0 || res.Stats.PeakLiveEntries > res.Stats.TotalEntries {
+		t.Fatalf("peak live %d outside (0, total %d]", res.Stats.PeakLiveEntries, res.Stats.TotalEntries)
+	}
+	if res.Stats.PeakLiveEntries < res.Stats.TotalEntries {
+		budget := (res.Stats.PeakLiveEntries + res.Stats.TotalEntries) / 2
+		mid, err := FindBestStrategy(m, Options{MaxTableEntries: budget})
+		if err != nil {
+			t.Fatalf("budget %d between peak %d and total %d should fit: %v",
+				budget, res.Stats.PeakLiveEntries, res.Stats.TotalEntries, err)
+		}
+		if mid.Cost != res.Cost {
+			t.Fatalf("budgeted solve changed the optimum: %v vs %v", mid.Cost, res.Cost)
+		}
 	}
 }

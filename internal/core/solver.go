@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"pase/internal/cost"
@@ -28,13 +29,15 @@ var ErrOOM = errors.New("core: dependent-set DP tables exceed memory budget")
 
 // Options tunes the solver.
 type Options struct {
-	// MaxTableEntries bounds the total number of DP table entries across
-	// all vertices (each entry is a float64 cost plus an int32 choice).
-	// Zero selects the default of 1<<24 (~200 MB).
+	// MaxTableEntries bounds the number of simultaneously live DP table
+	// entries (each entry is a float64 cost plus an int32 choice; a cost
+	// table freed after its last reader leaves only the choice third of its
+	// entries live). Zero selects the default of 1<<24 (~200 MB).
 	MaxTableEntries int64
 	// Workers sets the number of goroutines filling each vertex's DP table
-	// (the φ iterations of recurrence 4 are independent). Zero or one runs
-	// serially, matching the paper's single-threaded prototype; results are
+	// (the φ iterations of recurrence 4 are independent). Zero — the default
+	// — uses all available CPUs (GOMAXPROCS); set 1 for the explicit serial
+	// mode matching the paper's single-threaded prototype. Results are
 	// byte-identical at any worker count.
 	Workers int
 }
@@ -47,11 +50,18 @@ func (o Options) maxEntries() int64 {
 }
 
 func (o Options) workers() int {
+	if o.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
 	if o.Workers < 1 {
 		return 1
 	}
 	return o.Workers
 }
+
+// parallelThreshold is the table size below which a chunked parallel fill is
+// not worth the goroutine overhead.
+const parallelThreshold = 4096
 
 // Stats reports the work the solver performed.
 type Stats struct {
@@ -59,8 +69,13 @@ type Stats struct {
 	MaxDepSize int
 	// MaxTable is the largest single DP table (Π K over one dependent set).
 	MaxTable int64
-	// TotalEntries is the summed size of all DP tables.
+	// TotalEntries is the summed size of all DP tables ever allocated.
 	TotalEntries int64
+	// PeakLiveEntries is the largest number of simultaneously live table
+	// entries (in full cost+choice entry equivalents): cost tables are freed
+	// once their last reader's fill completes, so this — not TotalEntries —
+	// is what the memory budget bounds.
+	PeakLiveEntries int64
 	// States is the number of (φ, C) combinations evaluated.
 	States int64
 }
@@ -91,13 +106,17 @@ func NaiveBF(m *cost.Model, opts Options) (*Result, error) {
 }
 
 // subsetRef describes how to compute the flat table index of one connected
-// subset's representative vertex v(j) from the current (φ, C) digits.
+// subset's representative vertex v(j) from the current (φ, C) digits. The
+// index splits into a φ-only base (constant while the solver scans v(i)'s
+// own configurations) plus C times vStride, so the scan over C is one
+// multiply-add per lookup.
 type subsetRef struct {
-	pos int // position j of the subset's last vertex
-	// For each member of D(j), in v(j)'s table-digit order: the source of
-	// its configuration index in the current context.
-	srcDigit []int   // index into φ digits, or -1 when the source is C
-	stride   []int64 // mixed-radix stride within v(j)'s table
+	pos     int   // position j of the subset's last vertex
+	vStride int64 // stride of v(i)'s own configuration within v(j)'s table (0 when v(i) ∉ D(j))
+	// For the members of D(j) other than v(i): which φ digit supplies their
+	// configuration and its mixed-radix stride within v(j)'s table.
+	phiDigit  []int
+	phiStride []int64
 }
 
 // Solve runs the dependent-set DP over an arbitrary ordering. The ordering's
@@ -114,148 +133,184 @@ func Solve(m *cost.Model, sq *seq.Sequence, opts Options) (*Result, error) {
 	}
 
 	budget := opts.maxEntries()
+	nw := opts.workers()
 	var st Stats
 	st.MaxDepSize = sq.MaxDepSize()
 
-	tbl := make([][]float64, n)  // per position
-	choice := make([][]int32, n) // argmin config per (position, φ)
-	subsets := make([][][]int, n)
+	tbl := make([][]float64, n)  // per position; freed at last reader
+	choice := make([][]int32, n) // argmin config per (position, φ); kept for back-substitution
 
-	// Directed edges incident to each node.
-	type incEdge struct {
-		e     int
-		other int
-		vIsU  bool // true when the solver's vertex is the edge's producer
+	// All connected subsets up front (one bitset pass): both the recurrence
+	// lookup wiring and the liveness plan need them. lastReader[j] is the
+	// last position whose fill reads tbl[j]; after that fill, tbl[j] is dead
+	// (back-substitution only reads choice) and is freed.
+	subsets := seq.ConnectedSubsetsAll(g, sq)
+	lastReader := make([]int, n)
+	for j := range lastReader {
+		lastReader[j] = -1
 	}
-	inc := make([][]incEdge, n)
-	for e, uv := range m.Edges() {
-		inc[uv[0]] = append(inc[uv[0]], incEdge{e, uv[1], true})
-		inc[uv[1]] = append(inc[uv[1]], incEdge{e, uv[0], false})
+	for i, subs := range subsets {
+		for _, sub := range subs {
+			if j := sq.Pos[sub[len(sub)-1]]; i > lastReader[j] {
+				lastReader[j] = i
+			}
+		}
 	}
+	freeAt := make([][]int, n)
+	for j, r := range lastReader {
+		if r >= 0 {
+			freeAt[r] = append(freeAt[r], j)
+		}
+	}
+
+	// Live-memory accounting in 4-byte units: a float64 cost cell is 2
+	// units, an int32 choice cell 1, so a full entry is 3. Freeing a cost
+	// table returns its 2 units per entry while the choice third stays live.
+	// The budget bounds the peak, not the total ever allocated — graphs
+	// whose tables die young fit in budgets their TotalEntries would blow.
+	budgetUnits := 3 * budget
+	liveUnits := int64(0)
+
+	digitOf := make([]int, n) // dense node-ID → φ-digit map; -1 = absent
+	for j := range digitOf {
+		digitOf[j] = -1
+	}
+	var kd []int
+	var finalCost float64
 
 	for i := 0; i < n; i++ {
 		v := sq.Order[i]
 		dep := sq.Dep[i] // node IDs sorted by position, all after i
-		kd := make([]int, len(dep))
-		digitOf := map[int]int{}
+		kd = kd[:0]
 		tblSize := int64(1)
 		for k, d := range dep {
-			kd[k] = m.K(d)
+			kk := m.K(d)
+			kd = append(kd, kk)
 			digitOf[d] = k
-			tblSize *= int64(kd[k])
+			tblSize *= int64(kk)
 			if tblSize > budget {
 				return nil, fmt.Errorf("%w: table for vertex %d needs >%d entries", ErrOOM, v, budget)
 			}
 		}
 		st.TotalEntries += tblSize
-		if st.TotalEntries > budget {
-			return nil, fmt.Errorf("%w: cumulative tables exceed %d entries", ErrOOM, budget)
-		}
 		if tblSize > st.MaxTable {
 			st.MaxTable = tblSize
 		}
+		liveUnits += 3 * tblSize
+		if liveUnits > budgetUnits {
+			return nil, fmt.Errorf("%w: live tables at vertex %d exceed %d entries", ErrOOM, v, budget)
+		}
+		if live := (liveUnits + 2) / 3; live > st.PeakLiveEntries {
+			st.PeakLiveEntries = live
+		}
 
 		// Connected subsets S(i) and their lookup wiring.
-		subs := seq.ConnectedSubsets(g, sq, i)
-		subsets[i] = subs
+		subs := subsets[i]
 		refs := make([]subsetRef, len(subs))
 		for si, sub := range subs {
 			jPos := sq.Pos[sub[len(sub)-1]]
 			dj := sq.Dep[jPos]
-			r := subsetRef{pos: jPos, srcDigit: make([]int, len(dj)), stride: make([]int64, len(dj))}
+			r := subsetRef{pos: jPos}
 			stride := int64(1)
 			for k := len(dj) - 1; k >= 0; k-- {
-				r.stride[k] = stride
-				stride *= int64(m.K(dj[k]))
 				if dj[k] == v {
-					r.srcDigit[k] = -1
+					r.vStride = stride
 				} else {
-					dg, ok := digitOf[dj[k]]
-					if !ok {
+					dg := digitOf[dj[k]]
+					if dg < 0 {
 						return nil, fmt.Errorf("core: D(%d) member %d not in D(%d) ∪ {v(%d)}: ordering's dependent sets are inconsistent", jPos, dj[k], i, i)
 					}
-					r.srcDigit[k] = dg
+					r.phiDigit = append(r.phiDigit, dg)
+					r.phiStride = append(r.phiStride, stride)
 				}
+				stride *= int64(m.K(dj[k]))
 			}
 			refs[si] = r
 		}
+		rStride := make([]int64, len(refs))
+		for ri := range refs {
+			rStride[ri] = refs[ri].vStride
+		}
 
 		// Incident edges to later vertices; those endpoints are all in D(i).
-		var later []incEdge
-		laterDigit := make([]int, 0, len(inc[v]))
-		for _, ie := range inc[v] {
-			if sq.Pos[ie.other] > i {
-				dg, ok := digitOf[ie.other]
-				if !ok {
-					return nil, fmt.Errorf("core: later neighbour %d of %d missing from D(%d)", ie.other, v, i)
-				}
-				later = append(later, ie)
-				laterDigit = append(laterDigit, dg)
+		// Costs come straight from the model's eager TX tables, in whichever
+		// orientation makes the scan over v's own configuration contiguous —
+		// no per-vertex materialization pass, and nothing here mutates
+		// shared state, so the parallel fill below reads them freely.
+		type edgeRef struct {
+			vals  []float64 // TX table oriented as vals[other*kv+c]
+			digit int       // φ digit holding the other endpoint's configuration
+		}
+		var erefs []edgeRef
+		for _, ie := range m.Incidence(v) {
+			if sq.Pos[ie.Other] <= i { // earlier neighbours and self-loops
+				continue
 			}
+			dg := digitOf[ie.Other]
+			if dg < 0 {
+				return nil, fmt.Errorf("core: later neighbour %d of %d missing from D(%d)", ie.Other, v, i)
+			}
+			var vals []float64
+			if ie.VIsU {
+				vals, _ = m.EdgeTableT(ie.E) // [cv*Ku+cu], contiguous in c=cu
+			} else {
+				vals, _ = m.EdgeTable(ie.E) // [cu*Kv+cv], contiguous in c=cv
+			}
+			erefs = append(erefs, edgeRef{vals: vals, digit: dg})
 		}
 
 		kv := m.K(v)
+		tlv := m.TLRow(v)
 		t := make([]float64, tblSize)
 		ch := make([]int32, tblSize)
-
-		// Materialize later-edge cost tables up front: the parallel fill
-		// below then only reads plain slices (Model.EdgeCost memoizes
-		// lazily and is not safe for concurrent use).
-		type edgeTab struct {
-			vals   []float64 // [c*kOther + otherConfig]
-			kOther int
-			digit  int
-		}
-		etabs := make([]edgeTab, len(later))
-		for li, ie := range later {
-			kOther := m.K(ie.other)
-			vals := make([]float64, kv*kOther)
-			for c := 0; c < kv; c++ {
-				for oc := 0; oc < kOther; oc++ {
-					if ie.vIsU {
-						vals[c*kOther+oc] = m.EdgeCost(ie.e, c, oc)
-					} else {
-						vals[c*kOther+oc] = m.EdgeCost(ie.e, oc, c)
-					}
-				}
-			}
-			etabs[li] = edgeTab{vals: vals, kOther: kOther, digit: laterDigit[li]}
-		}
 
 		// fill computes RV(i, φ) for the flat-index range [lo, hi). Ranges
 		// are disjoint and all shared state (tl, edge tables, earlier
 		// vertices' DP tables) is read-only, so chunks run in parallel with
-		// byte-identical results at any worker count.
+		// byte-identical results at any worker count. Per φ it slices each
+		// edge table to its kv-long row and folds the φ digits into one base
+		// index per subset, so the scan over v's configurations is pure
+		// slice reads and multiply-adds.
 		fill := func(lo, hi int64) {
 			digits := make([]int, len(dep))
+			erow := make([][]float64, len(erefs))
+			rbase := make([]int64, len(refs))
+			rtbl := make([][]float64, len(refs))
+			for ri := range refs {
+				rtbl[ri] = tbl[refs[ri].pos]
+			}
 			rem := lo
 			for k := len(dep) - 1; k >= 0; k-- {
 				digits[k] = int(rem % int64(kd[k]))
 				rem /= int64(kd[k])
 			}
 			for flat := lo; flat < hi; flat++ {
+				for li := range erefs {
+					er := &erefs[li]
+					o := digits[er.digit] * kv
+					erow[li] = er.vals[o : o+kv]
+				}
+				for ri := range refs {
+					r := &refs[ri]
+					b := int64(0)
+					for k, dg := range r.phiDigit {
+						b += int64(digits[dg]) * r.phiStride[k]
+					}
+					rbase[ri] = b
+				}
 				best := math.Inf(1)
 				bestC := int32(0)
 				for c := 0; c < kv; c++ {
-					cst := m.TL(v, c)
-					for li := range etabs {
-						et := &etabs[li]
-						cst += et.vals[c*et.kOther+digits[et.digit]]
+					cst := tlv[c]
+					for li := range erow {
+						cst += erow[li][c]
 						if cst >= best {
 							break
 						}
 					}
 					if cst < best {
-						for _, r := range refs {
-							idx := int64(0)
-							for k, src := range r.srcDigit {
-								if src < 0 {
-									idx += int64(c) * r.stride[k]
-								} else {
-									idx += int64(digits[src]) * r.stride[k]
-								}
-							}
-							cst += tbl[r.pos][idx]
+						for ri := range rtbl {
+							cst += rtbl[ri][rbase[ri]+int64(c)*rStride[ri]]
 							if cst >= best {
 								break
 							}
@@ -280,7 +335,7 @@ func Solve(m *cost.Model, sq *seq.Sequence, opts Options) (*Result, error) {
 			}
 		}
 
-		if nw := opts.workers(); nw > 1 && tblSize >= 4096 {
+		if nw > 1 && tblSize >= parallelThreshold {
 			var wg sync.WaitGroup
 			chunk := (tblSize + int64(nw) - 1) / int64(nw)
 			for w := 0; w < nw; w++ {
@@ -305,6 +360,19 @@ func Solve(m *cost.Model, sq *seq.Sequence, opts Options) (*Result, error) {
 		st.States += tblSize * int64(kv)
 		tbl[i] = t
 		choice[i] = ch
+		if i == n-1 {
+			finalCost = t[0]
+		}
+
+		// Retire cost tables whose last reader was this position, and reset
+		// the dense digit map for the next vertex.
+		for _, j := range freeAt[i] {
+			liveUnits -= 2 * int64(len(tbl[j]))
+			tbl[j] = nil
+		}
+		for _, d := range dep {
+			digitOf[d] = -1
+		}
 	}
 
 	// Extract the strategy by back-substitution from v(|V|) with φ = ∅.
@@ -342,7 +410,7 @@ func Solve(m *cost.Model, sq *seq.Sequence, opts Options) (*Result, error) {
 	}
 
 	res := &Result{
-		Cost:     tbl[n-1][0],
+		Cost:     finalCost,
 		Idx:      idx,
 		Strategy: m.StrategyFromIdx(idx),
 		Seq:      sq,

@@ -256,15 +256,21 @@ func TXBytes(u, v *graph.Node, inIdx int, cu, cv itspace.Config) float64 {
 	}
 	gus := granularities(out, u.Space, cu, s)
 	gvs := granularities(in, v.Space, cv, s)
+	return txVolumeBytes(s, gus, gvs, out.EffScale())
+}
 
+// txVolumeBytes is the needed-minus-held arithmetic of TXBytes over
+// precomputed per-dim granularities of both sides. The eager table build
+// hoists s and the granularity vectors per edge row/column and calls this
+// per (cu, cv) cell.
+func txVolumeBytes(s, gus, gvs []float64, scale float64) float64 {
 	need, have, held := 1.0, 1.0, 1.0
-	for t := range out.Map {
+	for t := range s {
 		gu, gv := gus[t], gvs[t]
 		need *= s[t] / gv
 		held *= s[t] / gu
 		have *= s[t] / math.Max(gu, gv)
 	}
-	scale := out.EffScale()
 	fwd := (need - have) * scale // consumer shortfall: activations
 	bwd := (held - have) * scale // producer shortfall: gradients
 	if fwd < 0 {
@@ -296,6 +302,13 @@ func effSplit(s, dimSize, c float64) float64 {
 // tensor dims first.
 func granularities(ref graph.TensorRef, sp itspace.Space, cfg itspace.Config, s []float64) []float64 {
 	g := make([]float64, len(ref.Map))
+	granularitiesInto(g, ref, sp, cfg, s)
+	return g
+}
+
+// granularitiesInto is granularities writing into a caller-provided slice of
+// length len(ref.Map), for allocation-free table builds.
+func granularitiesInto(g []float64, ref graph.TensorRef, sp itspace.Space, cfg itspace.Config, s []float64) {
 	for i := 0; i < len(ref.Map); {
 		j := i + 1
 		for j < len(ref.Map) && ref.Map[j] == ref.Map[i] {
@@ -320,5 +333,4 @@ func granularities(ref graph.TensorRef, sp itspace.Space, cfg itspace.Config, s 
 		}
 		i = j
 	}
-	return g
 }

@@ -2,17 +2,36 @@ package cost
 
 import (
 	"fmt"
-	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"pase/internal/graph"
 	"pase/internal/itspace"
 	"pase/internal/machine"
 )
 
-// Model binds a computation graph to a machine spec and memoizes every layer
-// and edge cost the strategy search needs. The dynamic program, the MCMC
-// search, and the exhaustive baselines all evaluate strategies through one
-// Model, so they rank candidates under the identical cost function.
+// IncEdge describes one directed edge incident to a node, from that node's
+// point of view.
+type IncEdge struct {
+	// E is the model edge index (into Edges / EdgeCost).
+	E int
+	// Other is the node ID of the opposite endpoint.
+	Other int
+	// VIsU is true when the node is the edge's producer.
+	VIsU bool
+	// Self marks a self-loop; it appears once in the node's incidence list.
+	Self bool
+}
+
+// Model binds a computation graph to a machine spec and precomputes every
+// layer and edge cost the strategy search needs. The dynamic program, the
+// MCMC search, and the exhaustive baselines all evaluate strategies through
+// one Model, so they rank candidates under the identical cost function.
+//
+// All cost tables are built eagerly (and concurrently, across a
+// GOMAXPROCS-sized worker pool) at NewModel time, so a finished Model is
+// read-only and safe for concurrent use by any number of goroutines.
 //
 // Costs are in seconds of estimated per-step time (pricing.go): the sum of
 // a strategy's layer and edge costs equals the simulator's step time minus
@@ -27,15 +46,51 @@ type Model struct {
 	r    float64
 	cfgs [][]itspace.Config // per node
 	tl   [][]float64        // [node][cfgIdx], eager
-	tx   [][]float64        // [edge][cu*Kv+cv], lazy per entry (NaN = unset)
+	tx   [][]float64        // [edge][cu*Kv+cv], eager
+	txT  [][]float64        // [edge][cv*Ku+cu], transpose of tx
+	txKv []int              // row stride of tx: the consumer's config count
 
 	edges   [][2]int
 	edgeIdx map[[2]int]int
-	inSlot  []int // input slot of v fed by each edge
+	inSlot  []int       // input slot of v fed by each edge
+	inc     [][]IncEdge // per-node incident edges
 }
 
-// NewModel enumerates configurations and precomputes layer costs for the
-// graph on the given machine.
+// parallelFor runs f(i) for every i in [0, n) across a GOMAXPROCS-sized
+// worker pool. Each index is handled exactly once; f must only write state
+// owned by its index.
+func parallelFor(n int, f func(i int)) {
+	nw := runtime.GOMAXPROCS(0)
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// NewModel enumerates configurations and precomputes all layer and edge cost
+// tables for the graph on the given machine, parallelizing the per-node and
+// per-edge table builds across a worker pool.
 func NewModel(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy) (*Model, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -52,25 +107,88 @@ func NewModel(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy) (*Model
 		tl:      make([][]float64, g.Len()),
 		edgeIdx: map[[2]int]int{},
 	}
-	for _, n := range g.Nodes {
+	// Phase 1: configuration enumeration and layer-cost tables, one node per
+	// pool task.
+	nodeErr := make([]error, g.Len())
+	parallelFor(g.Len(), func(id int) {
+		n := g.Nodes[id]
 		cs := itspace.Enumerate(n.Space, spec.Devices, pol)
 		if len(cs) == 0 {
-			return nil, fmt.Errorf("cost: node %d (%s) admits no configuration", n.ID, n.Name)
+			nodeErr[id] = fmt.Errorf("cost: node %d (%s) admits no configuration", n.ID, n.Name)
+			return
 		}
-		m.cfgs[n.ID] = cs
+		m.cfgs[id] = cs
 		tl := make([]float64, len(cs))
 		for i, c := range cs {
 			tl[i] = TLSeconds(n, c, spec)
 		}
-		m.tl[n.ID] = tl
+		m.tl[id] = tl
+	})
+	for _, err := range nodeErr {
+		if err != nil {
+			return nil, err
+		}
 	}
 	m.edges = g.Edges()
 	m.tx = make([][]float64, len(m.edges))
+	m.txT = make([][]float64, len(m.edges))
+	m.txKv = make([]int, len(m.edges))
 	m.inSlot = make([]int, len(m.edges))
+	m.inc = make([][]IncEdge, g.Len())
 	for i, e := range m.edges {
 		m.edgeIdx[e] = i
 		m.inSlot[i] = g.InputIndex(e[0], e[1])
+		m.txKv[i] = len(m.cfgs[e[1]])
+		if e[0] == e[1] {
+			m.inc[e[0]] = append(m.inc[e[0]], IncEdge{E: i, Other: e[0], Self: true})
+		} else {
+			m.inc[e[0]] = append(m.inc[e[0]], IncEdge{E: i, Other: e[1], VIsU: true})
+			m.inc[e[1]] = append(m.inc[e[1]], IncEdge{E: i, Other: e[0]})
+		}
 	}
+	// Phase 2: every per-edge TX table, one edge per pool task. The solver
+	// and the MCMC search then only read plain slices — no lazy memoization
+	// left to race on, and no per-vertex materialization pass in the DP.
+	// Per edge, the tensor extents are fixed and each side's granularity
+	// vector depends only on its own configuration, so they are computed
+	// once per row/column instead of per cell; the Ku×Kv fill is then pure
+	// arithmetic with no allocation.
+	txBW := GroupBW(spec, float64(spec.Devices))
+	parallelFor(len(m.edges), func(e int) {
+		u, v := m.edges[e][0], m.edges[e][1]
+		nu, nv := g.Nodes[u], g.Nodes[v]
+		out, in := nu.Output, nv.Inputs[m.inSlot[e]]
+		ku, kv := len(m.cfgs[u]), m.txKv[e]
+		nd := len(out.Map)
+		s := make([]float64, nd)
+		for t := range out.Map {
+			s[t] = float64(out.Extent(nu.Space, t))
+		}
+		gus := make([]float64, ku*nd)
+		for cu := 0; cu < ku; cu++ {
+			granularitiesInto(gus[cu*nd:cu*nd+nd], out, nu.Space, m.cfgs[u][cu], s)
+		}
+		gvs := make([]float64, kv*nd)
+		for cv := 0; cv < kv; cv++ {
+			granularitiesInto(gvs[cv*nd:cv*nd+nd], in, nv.Space, m.cfgs[v][cv], s)
+		}
+		scale := out.EffScale()
+		tab := make([]float64, ku*kv)
+		tabT := make([]float64, ku*kv)
+		for cu := 0; cu < ku; cu++ {
+			gu := gus[cu*nd : cu*nd+nd]
+			for cv := 0; cv < kv; cv++ {
+				c := 0.0
+				if bytes := txVolumeBytes(s, gu, gvs[cv*nd:cv*nd+nd], scale); bytes > 0 {
+					c = bytes/txBW + spec.LatencySec
+				}
+				tab[cu*kv+cv] = c
+				tabT[cv*ku+cu] = c
+			}
+		}
+		m.tx[e] = tab
+		m.txT[e] = tabT
+	})
 	return m, nil
 }
 
@@ -114,28 +232,34 @@ func (m *Model) TL(v, ci int) float64 { return m.tl[v][ci] }
 func (m *Model) Edges() [][2]int { return m.edges }
 
 // EdgeCost returns r·tx for edge e (model edge index) when the producer runs
-// its cu-th configuration and the consumer its cv-th. Values are memoized on
-// first use.
+// its cu-th configuration and the consumer its cv-th. Tables are built
+// eagerly by NewModel, so this is a plain read, safe for concurrent use.
 func (m *Model) EdgeCost(e, cu, cv int) float64 {
-	u, v := m.edges[e][0], m.edges[e][1]
-	kv := len(m.cfgs[v])
-	tab := m.tx[e]
-	if tab == nil {
-		tab = make([]float64, len(m.cfgs[u])*kv)
-		for i := range tab {
-			tab[i] = math.NaN()
-		}
-		m.tx[e] = tab
-	}
-	idx := cu*kv + cv
-	if c := tab[idx]; !math.IsNaN(c) {
-		return c
-	}
-	nu, nv := m.G.Nodes[u], m.G.Nodes[v]
-	c := TXSeconds(nu, nv, m.inSlot[e], m.cfgs[u][cu], m.cfgs[v][cv], m.Spec)
-	tab[idx] = c
-	return c
+	return m.tx[e][cu*m.txKv[e]+cv]
 }
+
+// EdgeTable exposes edge e's full TX cost table and its row stride (the
+// consumer's configuration count): vals[cu*kv+cv] = EdgeCost(e, cu, cv).
+// Do not mutate.
+func (m *Model) EdgeTable(e int) (vals []float64, kv int) {
+	return m.tx[e], m.txKv[e]
+}
+
+// EdgeTableT exposes the producer-minor transpose of edge e's TX table and
+// its row stride (the producer's configuration count):
+// vals[cv*ku+cu] = EdgeCost(e, cu, cv). The solver picks whichever
+// orientation makes its configuration scan contiguous. Do not mutate.
+func (m *Model) EdgeTableT(e int) (vals []float64, ku int) {
+	return m.txT[e], len(m.cfgs[m.edges[e][0]])
+}
+
+// TLRow exposes node v's full layer-cost table: TLRow(v)[ci] = TL(v, ci).
+// Do not mutate.
+func (m *Model) TLRow(v int) []float64 { return m.tl[v] }
+
+// Incidence returns the directed edges incident to node v, self-loops listed
+// once with Self set. Do not mutate.
+func (m *Model) Incidence(v int) []IncEdge { return m.inc[v] }
 
 // EdgeCostNodes is EdgeCost addressed by node IDs.
 func (m *Model) EdgeCostNodes(u, v, cu, cv int) float64 {
@@ -177,16 +301,20 @@ func (m *Model) Eval(s graph.Strategy) (float64, error) {
 // index oldC to newC with the rest of the strategy fixed — the cheap
 // neighbourhood evaluation the MCMC search uses (paper §II: a configuration
 // change only affects the node's own layer cost and its incident edges).
+// It walks v's precomputed incidence list, so one proposal costs O(deg(v))
+// table reads instead of a scan over every edge of the graph.
 func (m *Model) NodeDelta(idx []int, v, oldC, newC int) float64 {
 	d := m.tl[v][newC] - m.tl[v][oldC]
-	for e, uv := range m.edges {
+	for _, ie := range m.inc[v] {
 		switch {
-		case uv[0] == v && uv[1] == v:
-			d += m.EdgeCost(e, newC, newC) - m.EdgeCost(e, oldC, oldC)
-		case uv[0] == v:
-			d += m.EdgeCost(e, newC, idx[uv[1]]) - m.EdgeCost(e, oldC, idx[uv[1]])
-		case uv[1] == v:
-			d += m.EdgeCost(e, idx[uv[0]], newC) - m.EdgeCost(e, idx[uv[0]], oldC)
+		case ie.Self:
+			d += m.EdgeCost(ie.E, newC, newC) - m.EdgeCost(ie.E, oldC, oldC)
+		case ie.VIsU:
+			o := idx[ie.Other]
+			d += m.EdgeCost(ie.E, newC, o) - m.EdgeCost(ie.E, oldC, o)
+		default:
+			o := idx[ie.Other]
+			d += m.EdgeCost(ie.E, o, newC) - m.EdgeCost(ie.E, o, oldC)
 		}
 	}
 	return d

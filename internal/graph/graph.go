@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pase/internal/bitset"
 	"pase/internal/itspace"
 )
 
@@ -281,6 +282,44 @@ func (g *Graph) BFSOrder() []int {
 		}
 	}
 	return order
+}
+
+// AdjacencyBits returns the undirected neighbour set N(v) of every node as a
+// word-packed bitset — the representation the ordering and solver hot paths
+// (seq.Generate, connected-set reachability) traverse instead of the sorted
+// Neighbors slices.
+func (g *Graph) AdjacencyBits() []bitset.Set {
+	adj := make([]bitset.Set, g.Len())
+	for v := range adj {
+		adj[v] = bitset.New(g.Len())
+	}
+	for u := range g.Nodes {
+		for _, v := range g.out[u] {
+			adj[u].Add(v)
+			adj[v].Add(u)
+		}
+	}
+	return adj
+}
+
+// ReachableWithinBits is ReachableWithin over word-packed adjacency: it
+// overwrites res with the set of vertices reachable from v through paths
+// confined to allowed ∪ {v}. frontier and next are caller-provided scratch
+// sets whose contents are ignored and clobbered; all sets must be sized for
+// the same graph as adj.
+func ReachableWithinBits(adj []bitset.Set, allowed bitset.Set, v int, res, frontier, next bitset.Set) {
+	res.Clear()
+	frontier.Clear()
+	res.Add(v)
+	frontier.Add(v)
+	for !frontier.Empty() {
+		next.Clear()
+		frontier.ForEach(func(x int) { next.UnionWith(adj[x]) })
+		next.IntersectWith(allowed)
+		next.AndNotWith(res)
+		res.UnionWith(next)
+		frontier, next = next, frontier
+	}
 }
 
 // ReachableWithin performs the paper's DFS(G, U, v): the set of vertices

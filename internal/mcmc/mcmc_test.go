@@ -140,3 +140,27 @@ func TestSearchBestCostIsExact(t *testing.T) {
 		t.Fatalf("reported %v, recomputed %v", res.BestCost, got)
 	}
 }
+
+// BenchmarkSearchProposals tracks per-proposal cost on a long chain, where
+// the O(deg(v)) incidence-list NodeDelta matters most: an all-edges scan
+// would make every proposal O(|E|) regardless of the touched node.
+func BenchmarkSearchProposals(b *testing.B) {
+	m, err := cost.NewModel(chainGraph(64), machine.Uniform(16, 1e12, 1e10), itspace.EnumPolicy{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	init, err := m.DataParallelIdx("b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	iters := 0
+	for i := 0; i < b.N; i++ {
+		res, err := Search(m, init, Options{Seed: int64(i), MaxIters: 20000, MinIters: 20000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters += res.Iters
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "proposals/op")
+}

@@ -9,6 +9,7 @@ package seq
 import (
 	"sort"
 
+	"pase/internal/bitset"
 	"pase/internal/graph"
 )
 
@@ -43,14 +44,16 @@ func (s *Sequence) MaxDepSize() int {
 // absorb its remaining dependents. Ties break on lower node ID for
 // determinism. The returned dependent sets are the incrementally maintained
 // v.d, which Theorem 2 proves equal to D(i).
+//
+// Dependent sets are word-packed bitsets, so the line 7-9 set merges are one
+// union plus two bit clears per member (O(n/64) words each) instead of the
+// nested map loop that dominated the Fig. 5 hot path.
 func Generate(g *graph.Graph) *Sequence {
 	n := g.Len()
-	d := make([]map[int]bool, n)
-	for v := 0; v < n; v++ {
-		d[v] = map[int]bool{}
-		for _, w := range g.Neighbors(v) {
-			d[v][w] = true
-		}
+	d := g.AdjacencyBits() // v.d starts as N(v); mutated in place below
+	size := make([]int, n)
+	for v := range d {
+		size[v] = d[v].Count()
 	}
 	inSeq := make([]bool, n)
 	s := &Sequence{
@@ -58,6 +61,7 @@ func Generate(g *graph.Graph) *Sequence {
 		Pos:   make([]int, n),
 		Dep:   make([][]int, 0, n),
 	}
+	var members []int
 	for i := 0; i < n; i++ {
 		// Line 5: pick the unsequenced node with minimum |u.d|.
 		best, bestSize := -1, 1<<31-1
@@ -65,7 +69,7 @@ func Generate(g *graph.Graph) *Sequence {
 			if inSeq[u] {
 				continue
 			}
-			if sz := len(d[u]); sz < bestSize {
+			if sz := size[u]; sz < bestSize {
 				best, bestSize = u, sz
 			}
 		}
@@ -74,26 +78,22 @@ func Generate(g *graph.Graph) *Sequence {
 		s.Order = append(s.Order, vi)
 		s.Pos[vi] = i
 
-		// Lines 7-9: for all v in v(i).d, v.d ← v.d ∪ v(i).d − {v(i)}.
-		members := make([]int, 0, len(d[vi]))
-		for w := range d[vi] {
-			members = append(members, w)
-		}
+		// Lines 7-9: for all v in v(i).d, v.d ← v.d ∪ v(i).d − {v(i)}. The
+		// union may introduce v into its own set (v ∈ v(i).d); clear it
+		// unless v already held itself (self-loop).
+		dvi := d[vi]
+		members = dvi.AppendTo(members[:0])
 		for _, v := range members {
-			for _, w := range members {
-				if w != v {
-					d[v][w] = true
-				}
+			hadSelf := d[v].Has(v)
+			d[v].UnionWith(dvi)
+			if !hadSelf {
+				d[v].Remove(v)
 			}
-			delete(d[v], vi)
+			d[v].Remove(vi)
+			size[v] = d[v].Count()
 		}
 
-		dep := make([]int, 0, len(d[vi]))
-		for w := range d[vi] {
-			dep = append(dep, w)
-		}
-		sort.Ints(dep)
-		s.Dep = append(s.Dep, dep)
+		s.Dep = append(s.Dep, dvi.Members())
 	}
 	sortDepsByPos(s)
 	return s
@@ -101,15 +101,26 @@ func Generate(g *graph.Graph) *Sequence {
 
 // FromOrder builds a Sequence for an arbitrary vertex ordering (e.g. the
 // breadth-first baseline), computing every dependent set from the definition
-// D(i) = N(X(i)) ∩ V>i.
+// D(i) = N(X(i)) ∩ V>i via bitset reachability (DependentSet remains the
+// map-based definitional oracle it is checked against).
 func FromOrder(g *graph.Graph, order []int) *Sequence {
 	n := g.Len()
 	s := &Sequence{Order: append([]int(nil), order...), Pos: make([]int, n), Dep: make([][]int, n)}
 	for i, v := range order {
 		s.Pos[v] = i
 	}
-	for i := range order {
-		s.Dep[i] = DependentSet(g, s, i)
+	adj := g.AdjacencyBits()
+	allowed := bitset.New(n) // V≤i, grown incrementally
+	x, frontier, next, nb := bitset.New(n), bitset.New(n), bitset.New(n), bitset.New(n)
+	for i, v := range order {
+		allowed.Add(v)
+		graph.ReachableWithinBits(adj, allowed, v, x, frontier, next)
+		// D(i) = N(X(i)) − X(i): a V≤i neighbour of X(i) would itself be
+		// connected to v(i) within V≤i, so every member is in V>i already.
+		nb.Clear()
+		x.ForEach(func(u int) { nb.UnionWith(adj[u]) })
+		nb.AndNotWith(x)
+		s.Dep[i] = nb.Members()
 	}
 	sortDepsByPos(s)
 	return s
@@ -190,6 +201,48 @@ func ConnectedSubsets(g *graph.Graph, s *Sequence, i int) [][]int {
 		return s.Pos[subsets[a][len(subsets[a])-1]] < s.Pos[subsets[b][len(subsets[b])-1]]
 	})
 	return subsets
+}
+
+// ConnectedSubsetsAll computes S(i) for every position of the sequence in
+// one pass over shared word-packed adjacency, so the solver can wire all
+// recurrence lookups and plan table liveness without n separate map-based
+// reachability traversals. Subset contents and order are identical to
+// ConnectedSubsets (the per-position definitional oracle) at every position.
+func ConnectedSubsetsAll(g *graph.Graph, s *Sequence) [][][]int {
+	n := g.Len()
+	out := make([][][]int, n)
+	adj := g.AdjacencyBits()
+	allowed := bitset.New(n) // V≤i, grown incrementally
+	x, frontier, next := bitset.New(n), bitset.New(n), bitset.New(n)
+	comp, rem := bitset.New(n), bitset.New(n)
+	for i := 0; i < n; i++ {
+		vi := s.Order[i]
+		allowed.Add(vi)
+		graph.ReachableWithinBits(adj, allowed, vi, x, frontier, next)
+		x.Remove(vi)
+		// Components of the subgraph induced by X(i) − {v(i)} (all members
+		// are in V<i since X(i) ⊆ V≤i). Components of rem equal components of
+		// the full induced subgraph: removing one component cannot disconnect
+		// another.
+		rem.CopyFrom(x)
+		var subsets [][]int
+		for j := 0; j < i && !rem.Empty(); j++ { // deterministic scan by position
+			v := s.Order[j]
+			if !rem.Has(v) {
+				continue
+			}
+			graph.ReachableWithinBits(adj, rem, v, comp, frontier, next)
+			members := comp.Members()
+			sort.Slice(members, func(a, b int) bool { return s.Pos[members[a]] < s.Pos[members[b]] })
+			rem.AndNotWith(comp)
+			subsets = append(subsets, members)
+		}
+		sort.Slice(subsets, func(a, b int) bool {
+			return s.Pos[subsets[a][len(subsets[a])-1]] < s.Pos[subsets[b][len(subsets[b])-1]]
+		})
+		out[i] = subsets
+	}
+	return out
 }
 
 // Stats summarizes a sequence for the paper's Fig. 5 discussion.

@@ -233,6 +233,75 @@ func TestConnectedSubsetsPartitionX(t *testing.T) {
 	}
 }
 
+// randomConnectedGraph builds a random connected DAG: each node i>0 gets an
+// edge from some j<i, plus sprinkled extra forward edges.
+func randomConnectedGraph(rng *rand.Rand) *graph.Graph {
+	n := 3 + rng.Intn(12)
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{rng.Intn(i), i})
+	}
+	for k := 0; k < rng.Intn(n); k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a < b {
+			edges = append(edges, [2]int{a, b})
+		}
+	}
+	return build(n, edges)
+}
+
+// FromOrder computes dependent sets with bitset reachability; they must
+// equal the map-based definitional oracle on arbitrary orderings.
+func TestFromOrderMatchesOracleQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng)
+		s := FromOrder(g, rng.Perm(g.Len()))
+		for i := range s.Order {
+			want := DependentSet(g, s, i)
+			got := append([]int(nil), s.Dep[i]...)
+			sortInts(got)
+			if !equalInts(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The one-pass bitset ConnectedSubsetsAll must reproduce the map-based
+// definitional oracle exactly — same subsets, same member order, same
+// subset order — at every position, for both GENERATESEQ and random
+// orderings.
+func TestConnectedSubsetsAllMatchesOracleQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng)
+		for _, s := range []*Sequence{Generate(g), FromOrder(g, rng.Perm(g.Len()))} {
+			all := ConnectedSubsetsAll(g, s)
+			for i := range s.Order {
+				want := ConnectedSubsets(g, s, i)
+				got := all[i]
+				if len(got) != len(want) {
+					return false
+				}
+				for si := range want {
+					if !equalInts(got[si], want[si]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	g := paperToyGraph()
 	st := Summarize(Generate(g))

@@ -12,8 +12,9 @@
 //	res, err := pase.Find(g, pase.GTX1080Ti(32), pase.Options{})
 //	// res.Strategy[nodeID] is the per-layer parallelization configuration.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-reproduction comparison.
+// See DESIGN.md for the solve-pipeline architecture (enumeration → ordering
+// → cost tables → dynamic program → back-substitution) and its parallelism
+// and memory-liveness design.
 package pase
 
 import (
@@ -56,7 +57,9 @@ type (
 	EnumPolicy = itspace.EnumPolicy
 	// Machine describes the cluster (devices, FLOPS, bandwidths).
 	Machine = machine.Spec
-	// Model binds a graph to a machine and memoizes all costs.
+	// Model binds a graph to a machine and precomputes all cost tables
+	// (concurrently, at construction); a built Model is read-only and safe
+	// for concurrent use.
 	Model = cost.Model
 	// StepResult is a simulated training-step outcome.
 	StepResult = sim.Result
@@ -114,15 +117,17 @@ type Options struct {
 	// Policy restricts configuration enumeration (zero value: the paper's
 	// divisibility rule only).
 	Policy EnumPolicy
-	// MaxTableEntries bounds DP table memory; exceeding it returns
-	// core.ErrOOM. Zero selects the default (~16M entries).
+	// MaxTableEntries bounds the DP tables' peak live memory (tables are
+	// freed as soon as no later recurrence lookup can read them); exceeding
+	// it returns core.ErrOOM. Zero selects the default (~16M entries).
 	MaxTableEntries int64
 	// BreadthFirst switches to the naive Section III-A ordering (the
 	// baseline that OOMs on InceptionV3/Transformer). Default: GENERATESEQ.
 	BreadthFirst bool
 	// Workers parallelizes each vertex's DP-table fill across goroutines
 	// (an extension over the paper's single-threaded prototype; results are
-	// identical at any worker count). Zero or one runs serially.
+	// byte-identical at any worker count). Zero — the default — uses all
+	// available CPUs; set 1 for the explicit serial mode.
 	Workers int
 }
 
@@ -144,8 +149,8 @@ type Result struct {
 // paper's Table I "OOM" outcome for breadth-first ordering).
 var ErrOOM = core.ErrOOM
 
-// NewModel binds a graph to a machine under an enumeration policy,
-// memoizing layer and edge costs.
+// NewModel binds a graph to a machine under an enumeration policy, building
+// all layer and edge cost tables eagerly across a worker pool.
 func NewModel(g *Graph, spec Machine, pol EnumPolicy) (*Model, error) {
 	return cost.NewModel(g, spec, pol)
 }
@@ -161,7 +166,7 @@ func Find(g *Graph, spec Machine, opts Options) (*Result, error) {
 }
 
 // FindWithModel is Find over a prebuilt model (reuse it to amortize cost
-// memoization across calls).
+// table construction across calls).
 func FindWithModel(m *Model, opts Options) (*Result, error) {
 	start := time.Now()
 	var sq *seq.Sequence
