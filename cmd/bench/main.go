@@ -1,11 +1,14 @@
 // Command bench measures the solver's hot paths outside the `go test`
 // harness and writes the results as JSON, giving successive PRs a stable
-// perf trajectory to compare against.
+// perf trajectory to compare against. Each run APPENDS a timestamped entry
+// to the output file's trajectory array (a pre-trajectory single-object file
+// is migrated in place as the first entry), so BENCH_solver.json records the
+// perf history across PRs instead of only the latest run.
 //
 // Usage:
 //
-//	go run ./cmd/bench                      # writes BENCH_solver.json
-//	go run ./cmd/bench -out - -reps 5       # print JSON to stdout, 5 reps
+//	go run ./cmd/bench                      # appends to BENCH_solver.json
+//	go run ./cmd/bench -out - -reps 5       # print one entry to stdout, 5 reps
 //
 // Measured families (minimum wall time over -reps runs):
 //
@@ -37,7 +40,21 @@ type Result struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
-// Report is the BENCH_solver.json schema.
+// Trajectory is the BENCH_*.json on-disk schema: one timestamped Report per
+// bench run, oldest first.
+type Trajectory struct {
+	Schema  string   `json:"schema"`
+	Entries []Report `json:"entries"`
+}
+
+// Schema identifiers: a single run's report, and the on-disk trajectory of
+// appended runs.
+const (
+	reportSchema     = "pase-bench/v1"
+	trajectorySchema = "pase-bench-trajectory/v1"
+)
+
+// Report is one bench run's results.
 type Report struct {
 	Schema     string `json:"schema"`
 	Date       string `json:"date"`
@@ -154,23 +171,55 @@ func run(out string, reps, p int, notes string) error {
 		})
 	}
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
+	if out == "-" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	traj, err := loadTrajectory(out)
+	if err != nil {
+		return err
+	}
+	traj.Entries = append(traj.Entries, rep)
+	buf, err := json.MarshalIndent(traj, "", "  ")
 	if err != nil {
 		return err
 	}
 	buf = append(buf, '\n')
-	if out == "-" {
-		_, err = os.Stdout.Write(buf)
-		return err
-	}
 	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		return err
 	}
 	for _, r := range rep.Results {
 		fmt.Printf("%-40s %14.0f ns/op\n", r.Name, r.NsPerOp)
 	}
-	fmt.Println("wrote", out)
+	fmt.Printf("wrote %s (entry %d of trajectory)\n", out, len(traj.Entries))
 	return nil
+}
+
+// loadTrajectory reads the output file's existing history. A missing file
+// starts an empty trajectory; a pre-trajectory single-report file (the
+// original pase-bench/v1 layout) is migrated as the first entry.
+func loadTrajectory(path string) (Trajectory, error) {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Trajectory{Schema: trajectorySchema}, nil
+	}
+	if err != nil {
+		return Trajectory{}, err
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(buf, &traj); err == nil && traj.Schema == trajectorySchema {
+		return traj, nil
+	}
+	var old Report
+	if err := json.Unmarshal(buf, &old); err == nil && old.Schema == reportSchema {
+		return Trajectory{Schema: trajectorySchema, Entries: []Report{old}}, nil
+	}
+	return Trajectory{}, fmt.Errorf("bench: %s is neither a %s trajectory nor a %s report; move it aside to start fresh", path, trajectorySchema, reportSchema)
 }
 
 func main() {

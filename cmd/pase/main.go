@@ -6,13 +6,13 @@
 //
 //	pase -model alexnet -gpus 32 -machine 1080ti
 //	pase -model transformer -gpus 16 -machine 2080ti -compare
+//	pase -model rnnlm -gpus 16 -machine uniform:8:11.3e12:12e9:10e9
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"pase"
 	"pase/internal/report"
@@ -22,7 +22,7 @@ func main() {
 	var (
 		model   = flag.String("model", "alexnet", "benchmark model: alexnet, inceptionv3, rnnlm, transformer")
 		gpus    = flag.Int("gpus", 32, "device count p")
-		mach    = flag.String("machine", "1080ti", "machine profile: 1080ti or 2080ti")
+		mach    = flag.String("machine", "1080ti", "machine profile: 1080ti, 2080ti, or uniform:<devices-per-node>:<flops>:<intra-bw>:<inter-bw>")
 		compare = flag.Bool("compare", false, "also report data-parallel, expert, and MCMC baselines")
 		export  = flag.String("export", "", "write the strategy as JSON to this file")
 	)
@@ -33,39 +33,27 @@ func main() {
 	}
 }
 
-func machineFor(name string, p int) (pase.Machine, error) {
-	switch strings.ToLower(name) {
-	case "1080ti":
-		return pase.GTX1080Ti(p), nil
-	case "2080ti":
-		return pase.RTX2080Ti(p), nil
-	default:
-		return pase.Machine{}, fmt.Errorf("unknown machine %q (want 1080ti or 2080ti)", name)
-	}
-}
-
 func run(model string, gpus int, mach string, compare bool, exportPath string) error {
 	bm, err := pase.BenchmarkByName(model)
 	if err != nil {
 		return err
 	}
-	spec, err := machineFor(mach, gpus)
+	spec, err := pase.ParseMachine(mach, gpus)
 	if err != nil {
 		return err
 	}
 	g := bm.Build(bm.Batch)
-	m, err := pase.NewModel(g, spec, bm.Policy(gpus))
-	if err != nil {
-		return err
-	}
-	res, err := pase.FindWithModel(m, pase.Options{})
+	// All solving goes through a planner: the -compare baselines below reuse
+	// the solve's cached cost model instead of rebuilding it.
+	pl := pase.NewPlanner(pase.PlannerConfig{})
+	res, err := pl.Find(g, spec, pase.Options{Policy: bm.Policy(gpus)})
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("%s on %d × %s (batch %d)\n", bm.Name, gpus, spec.Name, bm.Batch)
-	fmt.Printf("search time: %s   cost: %.4g FLOP-units   M=%d   states=%d\n\n",
-		report.Duration(res.SearchTime), res.Cost, res.MaxDepSize, res.States)
+	fmt.Printf("search time: %s (model %s)   cost: %.4g s/step   M=%d   states=%d\n\n",
+		report.Duration(res.SearchTime), report.Duration(res.ModelTime), res.Cost, res.MaxDepSize, res.States)
 
 	tb := &report.Table{
 		Title:  fmt.Sprintf("Best strategy (paper Table II layout, p=%d)", gpus),
@@ -96,6 +84,7 @@ func run(model string, gpus int, mach string, compare bool, exportPath string) e
 		if err != nil {
 			return err
 		}
+		doc.Fingerprint = res.Fingerprint
 		f, err := os.Create(exportPath)
 		if err != nil {
 			return err
@@ -110,6 +99,12 @@ func run(model string, gpus int, mach string, compare bool, exportPath string) e
 	if !compare {
 		return nil
 	}
+	// The planner's model cache already holds this (graph, machine, policy)
+	// model from the solve above; the baselines reuse it for free.
+	m, err := pl.Model(g, spec, bm.Policy(gpus))
+	if err != nil {
+		return err
+	}
 	dp := pase.DataParallelStrategy(g, gpus)
 	exp, err := pase.ExpertStrategy(bm.Family, g, gpus)
 	if err != nil {
@@ -121,7 +116,7 @@ func run(model string, gpus int, mach string, compare bool, exportPath string) e
 	}
 	cmp := &report.Table{
 		Title:  "\nBaseline comparison (simulated throughput)",
-		Header: []string{"Strategy", "Cost (FLOP-units)", "Step (ms)", "Speedup vs DP"},
+		Header: []string{"Strategy", "Cost (s/step)", "Step (ms)", "Speedup vs DP"},
 	}
 	add := func(name string, s pase.Strategy) error {
 		c, err := pase.StrategyCost(m, s)

@@ -1,0 +1,339 @@
+// Command pased is the PaSE strategy-serving daemon: an HTTP JSON front end
+// over the planner, so a cluster scheduler or training framework can request
+// parallelization strategies on demand. Identical requests are served from
+// the planner's result cache, concurrent identical requests share one solve,
+// and batches fan out across a worker pool sharing cached cost models.
+//
+// Usage:
+//
+//	pased -addr :8555
+//	curl -s localhost:8555/v1/healthz
+//	curl -s -X POST localhost:8555/v1/solve \
+//	    -d '{"model":"alexnet","gpus":8,"machine":"1080ti"}'
+//	curl -s -X POST localhost:8555/v1/batch \
+//	    -d '{"requests":[{"model":"alexnet","gpus":8},{"model":"rnnlm","gpus":16}]}'
+//	curl -s localhost:8555/v1/stats
+//
+// Endpoints:
+//
+//	POST /v1/solve   — solve one request; returns the strategy as the
+//	                   internal/export interchange document plus timing,
+//	                   cache, and fingerprint metadata.
+//	POST /v1/batch   — solve many requests concurrently; per-item errors.
+//	GET  /v1/healthz — liveness.
+//	GET  /v1/stats   — planner cache/dedup counters and server counters.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"pase"
+)
+
+// solveRequest is the wire form of one solve request.
+type solveRequest struct {
+	// Model is a benchmark model name (alexnet, inceptionv3, rnnlm,
+	// transformer).
+	Model string `json:"model"`
+	// Batch overrides the model's paper mini-batch size when > 0.
+	Batch int64 `json:"batch,omitempty"`
+	// GPUs is the device count p.
+	GPUs int `json:"gpus"`
+	// Machine is a machine-spec string (1080ti, 2080ti, uniform:...);
+	// default 1080ti.
+	Machine string `json:"machine,omitempty"`
+	// Options tunes enumeration and the solver; omitted means the model's
+	// default policy for p.
+	Options *solveOptions `json:"options,omitempty"`
+}
+
+// solveOptions is the wire form of pase.Options. A zero MaxSplitDims with
+// RequireFullDegree false selects the benchmark's default policy for p;
+// set any policy field to take manual control.
+type solveOptions struct {
+	MaxSplitDims      int   `json:"max_split_dims,omitempty"`
+	RequireFullDegree bool  `json:"require_full_degree,omitempty"`
+	MaxTableEntries   int64 `json:"max_table_entries,omitempty"`
+	BreadthFirst      bool  `json:"breadth_first,omitempty"`
+	Workers           int   `json:"workers,omitempty"`
+}
+
+// solveResponse is the wire form of one solved strategy.
+type solveResponse struct {
+	// Strategy is the interchange document (internal/export schema) handed
+	// to execution frameworks, fingerprint included.
+	Strategy    *pase.StrategyDocument `json:"strategy"`
+	CostSeconds float64                `json:"cost_seconds"`
+	SearchMs    float64                `json:"search_ms"`
+	ModelMs     float64                `json:"model_ms"`
+	Cached      bool                   `json:"cached"`
+	Fingerprint string                 `json:"fingerprint"`
+	States      int64                  `json:"states"`
+	MaxDepSize  int                    `json:"max_dep_size"`
+}
+
+type batchRequest struct {
+	Requests []solveRequest `json:"requests"`
+}
+
+type batchEntry struct {
+	*solveResponse
+	Error string `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchEntry `json:"results"`
+}
+
+// server routes HTTP requests to a planner.
+type server struct {
+	pl      *pase.Planner
+	maxGPUs int
+	start   time.Time
+	served  atomic.Int64
+}
+
+func newServer(pl *pase.Planner, maxGPUs int) *server {
+	return &server{pl: pl, maxGPUs: maxGPUs, start: time.Now()}
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("pased: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	models, results := s.pl.CacheSizes()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"planner":        s.pl.Stats(),
+		"cached_models":  models,
+		"cached_results": results,
+		"requests":       s.served.Load(),
+		"uptime_ms":      time.Since(s.start).Milliseconds(),
+	})
+}
+
+// toRequest validates and lowers a wire request onto the planner's Request,
+// returning the benchmark name for the export document.
+func (s *server) toRequest(sr solveRequest) (pase.SolveRequest, string, error) {
+	bm, err := pase.BenchmarkByName(sr.Model)
+	if err != nil {
+		return pase.SolveRequest{}, "", err
+	}
+	if sr.GPUs < 1 || sr.GPUs > s.maxGPUs {
+		return pase.SolveRequest{}, "", fmt.Errorf("gpus %d out of range [1, %d]", sr.GPUs, s.maxGPUs)
+	}
+	batch := bm.Batch
+	if sr.Batch > 0 {
+		batch = sr.Batch
+	}
+	mach := sr.Machine
+	if mach == "" {
+		mach = "1080ti"
+	}
+	spec, err := pase.ParseMachine(mach, sr.GPUs)
+	if err != nil {
+		return pase.SolveRequest{}, "", err
+	}
+	opts := pase.Options{Policy: bm.Policy(sr.GPUs)}
+	if o := sr.Options; o != nil {
+		// Bound the wire-supplied knobs: this is a shared daemon, and
+		// unchecked values reach the solver's goroutine spawns and DP memory
+		// budget directly. (Model-build memory has no budget knob — it is
+		// bounded by -max-gpus, which caps the configuration counts the
+		// eager TL/TX tables are sized by.)
+		if o.Workers < 0 || o.Workers > maxWorkers {
+			return pase.SolveRequest{}, "", fmt.Errorf("workers %d out of range [0, %d]", o.Workers, maxWorkers)
+		}
+		if o.MaxTableEntries < 0 || o.MaxTableEntries > maxTableEntriesCap {
+			return pase.SolveRequest{}, "", fmt.Errorf("max_table_entries %d out of range [0, %d]", o.MaxTableEntries, int64(maxTableEntriesCap))
+		}
+		if o.MaxSplitDims < 0 {
+			return pase.SolveRequest{}, "", fmt.Errorf("max_split_dims %d must be >= 0", o.MaxSplitDims)
+		}
+		if o.MaxSplitDims > 0 || o.RequireFullDegree {
+			opts.Policy = pase.EnumPolicy{MaxSplitDims: o.MaxSplitDims, RequireFullDegree: o.RequireFullDegree}
+		}
+		opts.MaxTableEntries = o.MaxTableEntries
+		opts.BreadthFirst = o.BreadthFirst
+		opts.Workers = o.Workers
+	}
+	return pase.SolveRequest{G: bm.Build(batch), Spec: spec, Opts: opts}, bm.Name, nil
+}
+
+// toResponse lifts a planner result into the wire form.
+func toResponse(req pase.SolveRequest, model string, res *pase.Result) (*solveResponse, error) {
+	doc, err := pase.ExportStrategy(model, req.G, res.Strategy, req.Spec.Devices, res.Cost)
+	if err != nil {
+		return nil, err
+	}
+	doc.Fingerprint = res.Fingerprint
+	return &solveResponse{
+		Strategy:    doc,
+		CostSeconds: res.Cost,
+		SearchMs:    float64(res.SearchTime.Nanoseconds()) / 1e6,
+		ModelMs:     float64(res.ModelTime.Nanoseconds()) / 1e6,
+		Cached:      res.Cached,
+		Fingerprint: res.Fingerprint,
+		States:      res.States,
+		MaxDepSize:  res.MaxDepSize,
+	}, nil
+}
+
+const (
+	maxBodyBytes = 1 << 20
+	// maxWorkers bounds a request's DP-fill goroutines (results are
+	// worker-count invariant, so this only limits resource use).
+	maxWorkers = 256
+	// maxTableEntriesCap bounds a request's live DP-table budget to ~1.5 GB
+	// of entries; the ErrOOM → 422 path exists precisely because some
+	// (model, ordering) pairs need unbounded memory.
+	maxTableEntriesCap = int64(1) << 27
+)
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.served.Add(1)
+	var sr solveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&sr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	req, model, err := s.toRequest(sr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.pl.Solve(req)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, pase.ErrOOM) {
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, err)
+		return
+	}
+	resp, err := toResponse(req, model, res)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.served.Add(1)
+	var br batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&br); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(br.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("batch has no requests"))
+		return
+	}
+	entries := make([]batchEntry, len(br.Requests))
+	var reqs []pase.SolveRequest
+	var models []string
+	var idx []int // position of reqs[k] within entries
+	for i, sr := range br.Requests {
+		req, model, err := s.toRequest(sr)
+		if err != nil {
+			entries[i].Error = err.Error()
+			continue
+		}
+		reqs = append(reqs, req)
+		models = append(models, model)
+		idx = append(idx, i)
+	}
+	for k, item := range s.pl.FindBatch(reqs) {
+		i := idx[k]
+		if item.Err != nil {
+			entries[i].Error = item.Err.Error()
+			continue
+		}
+		resp, err := toResponse(reqs[k], models[k], item.Result)
+		if err != nil {
+			entries[i].Error = err.Error()
+			continue
+		}
+		entries[i].solveResponse = resp
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Results: entries})
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8555", "listen address")
+		modelCache  = flag.Int("model-cache", 16, "cost-model LRU capacity")
+		resultCache = flag.Int("result-cache", 256, "solved-result LRU capacity")
+		workers     = flag.Int("batch-workers", 0, "batch fan-out workers (0 = GOMAXPROCS)")
+		maxGPUs     = flag.Int("max-gpus", 128, "largest accepted device count (cost-model tables grow with p; raise deliberately)")
+	)
+	flag.Parse()
+
+	pl := pase.NewPlanner(pase.PlannerConfig{
+		ModelCacheSize:  *modelCache,
+		ResultCacheSize: *resultCache,
+		BatchWorkers:    *workers,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(pl, *maxGPUs).mux(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("pased: serving on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("pased: %v", err)
+	case sig := <-sigc:
+		log.Printf("pased: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("pased: shutdown: %v", err)
+		}
+	}
+}

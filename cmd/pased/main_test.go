@@ -1,0 +1,255 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"pase"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := newServer(pase.NewPlanner(pase.PlannerConfig{}), 64)
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("healthz body %v", body)
+	}
+}
+
+func TestSolveRoundTripAndCache(t *testing.T) {
+	ts := newTestServer(t)
+	const req = `{"model":"alexnet","gpus":8,"machine":"1080ti"}`
+
+	status, first := postJSON(t, ts.URL+"/v1/solve", req)
+	if status != http.StatusOK {
+		t.Fatalf("solve status %d: %v", status, first)
+	}
+	if first["cached"] != false {
+		t.Fatalf("first solve cached: %v", first["cached"])
+	}
+	doc, ok := first["strategy"].(map[string]any)
+	if !ok {
+		t.Fatalf("no strategy document: %v", first)
+	}
+	if doc["model"] != "AlexNet" || doc["devices"] != float64(8) {
+		t.Fatalf("bad document header: %v", doc)
+	}
+	layers, ok := doc["layers"].([]any)
+	if !ok || len(layers) == 0 {
+		t.Fatalf("document has no layers: %v", doc)
+	}
+	if doc["fingerprint"] == "" || doc["fingerprint"] != first["fingerprint"] {
+		t.Fatalf("fingerprint missing or inconsistent: %v vs %v", doc["fingerprint"], first["fingerprint"])
+	}
+
+	status, second := postJSON(t, ts.URL+"/v1/solve", req)
+	if status != http.StatusOK || second["cached"] != true {
+		t.Fatalf("second identical solve not cached: %d %v", status, second["cached"])
+	}
+	a, _ := json.Marshal(first["strategy"])
+	b, _ := json.Marshal(second["strategy"])
+	if !bytes.Equal(a, b) {
+		t.Fatal("cached strategy differs from original")
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	ts := newTestServer(t)
+	for body, wantStatus := range map[string]int{
+		`{"model":"nope","gpus":8}`:                     http.StatusBadRequest,
+		`{"model":"alexnet","gpus":0}`:                  http.StatusBadRequest,
+		`{"model":"alexnet","gpus":4096}`:               http.StatusBadRequest,
+		`{"model":"alexnet","gpus":8,"machine":"v100"}`: http.StatusBadRequest,
+		`not json`: http.StatusBadRequest,
+		`{"model":"alexnet","gpus":8,"machine":"uniform:4:1e12:1e10:5e9"}`: http.StatusOK,
+	} {
+		status, out := postJSON(t, ts.URL+"/v1/solve", body)
+		if status != wantStatus {
+			t.Errorf("solve(%s) status %d, want %d (%v)", body, status, wantStatus, out)
+		}
+	}
+	// The OOM outcome maps to 422, not 500.
+	status, out := postJSON(t, ts.URL+"/v1/solve",
+		`{"model":"inceptionv3","gpus":8,"options":{"breadth_first":true}}`)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("BF InceptionV3 status %d, want 422 (%v)", status, out)
+	}
+}
+
+func TestBatchMixedValidAndInvalid(t *testing.T) {
+	ts := newTestServer(t)
+	status, out := postJSON(t, ts.URL+"/v1/batch", `{"requests":[
+		{"model":"alexnet","gpus":8},
+		{"model":"nope","gpus":8},
+		{"model":"rnnlm","gpus":16}
+	]}`)
+	if status != http.StatusOK {
+		t.Fatalf("batch status %d: %v", status, out)
+	}
+	results, ok := out["results"].([]any)
+	if !ok || len(results) != 3 {
+		t.Fatalf("batch results: %v", out)
+	}
+	first := results[0].(map[string]any)
+	if first["strategy"] == nil || first["error"] != nil {
+		t.Fatalf("entry 0 should have solved: %v", first)
+	}
+	bad := results[1].(map[string]any)
+	if bad["error"] == nil || !strings.Contains(bad["error"].(string), "nope") {
+		t.Fatalf("entry 1 should carry its own error: %v", bad)
+	}
+	third := results[2].(map[string]any)
+	if third["strategy"] == nil {
+		t.Fatalf("entry 2 should have solved: %v", third)
+	}
+}
+
+func TestConcurrentMixedSolveAndBatch(t *testing.T) {
+	// The acceptance criterion: pased serves concurrent mixed solve/batch
+	// traffic correctly under -race. Identical requests across goroutines
+	// must come back byte-identical.
+	ts := newTestServer(t)
+	const solveReq = `{"model":"alexnet","gpus":8}`
+	const batchReq = `{"requests":[{"model":"alexnet","gpus":8},{"model":"rnnlm","gpus":8}]}`
+
+	var wg sync.WaitGroup
+	strategies := make([][]byte, 24)
+	errs := make([]error, 24)
+	for i := range strategies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var doc any
+			if i%2 == 0 {
+				status, out := postJSONNoFatal(ts.URL+"/v1/solve", solveReq)
+				if status != http.StatusOK {
+					errs[i] = fmt.Errorf("solve status %d: %v", status, out)
+					return
+				}
+				doc = out["strategy"]
+			} else {
+				status, out := postJSONNoFatal(ts.URL+"/v1/batch", batchReq)
+				if status != http.StatusOK {
+					errs[i] = fmt.Errorf("batch status %d: %v", status, out)
+					return
+				}
+				results := out["results"].([]any)
+				entry := results[0].(map[string]any)
+				if entry["error"] != nil {
+					errs[i] = fmt.Errorf("batch entry error: %v", entry["error"])
+					return
+				}
+				doc = entry["strategy"]
+			}
+			strategies[i], errs[i] = json.Marshal(doc)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i := 1; i < len(strategies); i++ {
+		if !bytes.Equal(strategies[i], strategies[0]) {
+			t.Fatalf("request %d returned a different AlexNet p=8 strategy", i)
+		}
+	}
+}
+
+func postJSONNoFatal(url, body string) (int, map[string]any) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, map[string]any{"transport_error": err.Error()}
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return resp.StatusCode, map[string]any{"decode_error": err.Error()}
+	}
+	return resp.StatusCode, out
+}
+
+func TestStats(t *testing.T) {
+	ts := newTestServer(t)
+	postJSON(t, ts.URL+"/v1/solve", `{"model":"alexnet","gpus":8}`)
+	postJSON(t, ts.URL+"/v1/solve", `{"model":"alexnet","gpus":8}`)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	pl, ok := out["planner"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing planner block: %v", out)
+	}
+	if pl["solves"] != float64(1) || pl["result_hits"] != float64(1) {
+		t.Fatalf("planner stats: %v", pl)
+	}
+	if out["requests"] != float64(2) {
+		t.Fatalf("requests = %v, want 2", out["requests"])
+	}
+}
+
+func TestSolveOptionBounds(t *testing.T) {
+	ts := newTestServer(t)
+	for _, body := range []string{
+		`{"model":"alexnet","gpus":8,"options":{"workers":1000000000}}`,
+		`{"model":"alexnet","gpus":8,"options":{"workers":-1}}`,
+		`{"model":"alexnet","gpus":8,"options":{"max_table_entries":9223372036854775807}}`,
+		`{"model":"alexnet","gpus":8,"options":{"max_table_entries":-5}}`,
+		`{"model":"alexnet","gpus":8,"options":{"max_split_dims":-1}}`,
+	} {
+		if status, out := postJSON(t, ts.URL+"/v1/solve", body); status != http.StatusBadRequest {
+			t.Errorf("solve(%s) status %d, want 400 (%v)", body, status, out)
+		}
+	}
+	// In-range options still work.
+	status, out := postJSON(t, ts.URL+"/v1/solve",
+		`{"model":"alexnet","gpus":8,"options":{"workers":2,"max_table_entries":1048576}}`)
+	if status != http.StatusOK {
+		t.Fatalf("bounded options rejected: %d %v", status, out)
+	}
+}

@@ -1,6 +1,8 @@
 // Clustersweep: sweep device counts and both GPU generations for one model,
 // reproducing a single panel of the paper's Fig. 6 — how the win over data
-// parallelism grows with scale and shrinks with machine balance.
+// parallelism grows with scale and shrinks with machine balance. The sweep's
+// eight independent solves fan out concurrently through a planner's batch
+// API instead of running one by one.
 //
 //	go run ./examples/clustersweep            # Transformer by default
 //	go run ./examples/clustersweep -model rnnlm
@@ -26,19 +28,36 @@ func main() {
 	}
 	g := bm.Build(bm.Batch)
 
+	// One batch of (p, machine) points; the planner fans them across a
+	// worker pool and dedups any repeats.
+	ps := []int{4, 8, 16, 32}
+	makers := []func(int) pase.Machine{pase.GTX1080Ti, pase.RTX2080Ti}
+	var reqs []pase.SolveRequest
+	for _, p := range ps {
+		for _, mk := range makers {
+			reqs = append(reqs, pase.SolveRequest{
+				G:    g,
+				Spec: mk(p),
+				Opts: pase.Options{Policy: bm.Policy(p)},
+			})
+		}
+	}
+	pl := pase.NewPlanner(pase.PlannerConfig{})
+	items := pl.FindBatch(reqs)
+
 	tb := &report.Table{
 		Title: fmt.Sprintf("%s: simulated speedup of PaSE over data parallelism", bm.Name),
 		Header: []string{"p", "1080Ti step (ms)", "1080Ti speedup",
 			"2080Ti step (ms)", "2080Ti speedup"},
 	}
-	for _, p := range []int{4, 8, 16, 32} {
+	for pi, p := range ps {
 		row := []any{p}
-		for _, mk := range []func(int) pase.Machine{pase.GTX1080Ti, pase.RTX2080Ti} {
-			spec := mk(p)
-			res, err := pase.Find(g, spec, pase.Options{Policy: bm.Policy(p)})
-			if err != nil {
-				log.Fatal(err)
+		for mi := range makers {
+			item := items[pi*len(makers)+mi]
+			if item.Err != nil {
+				log.Fatal(item.Err)
 			}
+			res, spec := item.Result, reqs[pi*len(makers)+mi].Spec
 			dp := pase.DataParallelStrategy(g, p)
 			step, err := pase.Simulate(g, res.Strategy, spec, bm.Batch)
 			if err != nil {
@@ -55,4 +74,7 @@ func main() {
 	if err := tb.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+	st := pl.Stats()
+	fmt.Printf("\nplanner: %d solves, %d model builds for %d requests\n",
+		st.Solves, st.ModelBuilds, len(reqs))
 }

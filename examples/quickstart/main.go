@@ -19,13 +19,22 @@ func main() {
 	// InfiniBand between nodes.
 	cluster := pase.GTX1080Ti(32)
 
-	// Run the paper's dependent-set dynamic program.
+	// Run the paper's dependent-set dynamic program. Find is served by the
+	// package-default planner: the request is canonically fingerprinted and
+	// the solved result cached.
 	res, err := pase.Find(g, cluster, pase.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("found best strategy in %v (M=%d, %d DP states)\n\n",
-		res.SearchTime, res.MaxDepSize, res.States)
+	fmt.Printf("found best strategy in %v (model build %v, M=%d, %d DP states)\n",
+		res.SearchTime, res.ModelTime, res.MaxDepSize, res.States)
+
+	// An identical request is a cache hit: no model build, no DP run.
+	again, err := pase.Find(g, cluster, pase.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("identical request again: %v (cached=%v)\n\n", again.SearchTime, again.Cached)
 
 	fmt.Println("layer            dims      configuration")
 	for _, n := range g.Nodes {

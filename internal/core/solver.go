@@ -27,12 +27,18 @@ import (
 // InceptionV3 and Transformer.
 var ErrOOM = errors.New("core: dependent-set DP tables exceed memory budget")
 
+// DefaultMaxTableEntries is the live-table budget used when
+// Options.MaxTableEntries is zero (~200 MB of full cost+choice entries). It
+// is exported so request fingerprinting can normalize "zero" and "explicit
+// default" to the same solve identity.
+const DefaultMaxTableEntries = 1 << 24
+
 // Options tunes the solver.
 type Options struct {
 	// MaxTableEntries bounds the number of simultaneously live DP table
 	// entries (each entry is a float64 cost plus an int32 choice; a cost
 	// table freed after its last reader leaves only the choice third of its
-	// entries live). Zero selects the default of 1<<24 (~200 MB).
+	// entries live). Zero selects DefaultMaxTableEntries.
 	MaxTableEntries int64
 	// Workers sets the number of goroutines filling each vertex's DP table
 	// (the φ iterations of recurrence 4 are independent). Zero — the default
@@ -46,7 +52,7 @@ func (o Options) maxEntries() int64 {
 	if o.MaxTableEntries > 0 {
 		return o.MaxTableEntries
 	}
-	return 1 << 24
+	return DefaultMaxTableEntries
 }
 
 func (o Options) workers() int {
@@ -82,7 +88,9 @@ type Stats struct {
 
 // Result is a solved strategy.
 type Result struct {
-	// Cost is R_V(|V|, ∅) = min_φ F(G, φ) in FLOP units.
+	// Cost is R_V(|V|, ∅) = min_φ F(G, φ), in the model's pricing units —
+	// estimated per-step seconds under the default cost.TLSeconds/TXSeconds
+	// pricing (cost.Model.PaperEval is the Eq. 1 FLOP-unit variant).
 	Cost float64
 	// Idx holds the chosen configuration index of every node.
 	Idx []int

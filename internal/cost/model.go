@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pase/internal/graph"
 	"pase/internal/itspace"
@@ -42,6 +43,11 @@ type Model struct {
 	Spec machine.Spec
 	// Policy controls configuration enumeration.
 	Policy itspace.EnumPolicy
+	// BuildTime is how long NewModel spent enumerating configurations and
+	// building the cost tables, so callers can report model-construction cost
+	// separately from DP-solve cost (and cache layers can show what a model
+	// cache hit saves).
+	BuildTime time.Duration
 
 	r    float64
 	cfgs [][]itspace.Config // per node
@@ -92,6 +98,7 @@ func parallelFor(n int, f func(i int)) {
 // tables for the graph on the given machine, parallelizing the per-node and
 // per-edge table builds across a worker pool.
 func NewModel(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy) (*Model, error) {
+	start := time.Now()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -189,6 +196,7 @@ func NewModel(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy) (*Model
 		m.tx[e] = tab
 		m.txT[e] = tabT
 	})
+	m.BuildTime = time.Since(start)
 	return m, nil
 }
 

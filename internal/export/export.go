@@ -34,6 +34,10 @@ type Document struct {
 	Devices int `json:"devices"`
 	// CostSeconds is the cost model's estimated per-step time, if known.
 	CostSeconds float64 `json:"cost_seconds,omitempty"`
+	// Fingerprint, when set, is the canonical fingerprint (hex) of the solve
+	// request that produced this strategy — the planner/daemon cache key, so
+	// consumers can correlate exported documents with served requests.
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// Layers holds one entry per node, in graph node order.
 	Layers []Layer `json:"layers"`
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"pase/internal/bitset"
+	"pase/internal/canon"
 	"pase/internal/itspace"
 )
 
@@ -363,6 +364,57 @@ func (g *Graph) DegreeHistogram() map[int]int {
 		h[g.Degree(v)]++
 	}
 	return h
+}
+
+// CanonicalEncode writes the graph's canonical form for request
+// fingerprinting: every node in ID order with its full cost-relevant content
+// (op, iteration space, tensor references, FLOPs density, halos, norm dims),
+// then every edge as each consumer's in-edge list in input-slot order.
+//
+// Encoding edges via in-lists makes the fingerprint independent of the order
+// out-edges were added in (out-edge order carries no semantics — every
+// out-edge ships the same output tensor — while in-edge order is semantic: it
+// matches Inputs positionally). Two graphs built by adding the same fan-out
+// edges in different orders therefore hash identically. Node IDs themselves
+// are part of the canonical form: they are the strategy's addressing scheme.
+func (g *Graph) CanonicalEncode(w *canon.Writer) {
+	w.Label("graph.Graph")
+	w.Len(g.Len())
+	for _, n := range g.Nodes {
+		w.Str(n.Name)
+		w.Int(int(n.Op))
+		n.Space.CanonicalEncode(w)
+		w.F64(n.FlopsPerPoint)
+		w.I64s(n.Halo)
+		w.Ints(n.NormDims)
+		encodeRef := func(r TensorRef) {
+			w.Ints(r.Map)
+			w.I64s(r.Offset)
+			w.I64s(r.Size)
+			w.F64(r.EffScale())
+			w.Bool(r.Param)
+		}
+		w.Len(len(n.Inputs))
+		for _, r := range n.Inputs {
+			encodeRef(r)
+		}
+		w.Len(len(n.Params))
+		for _, r := range n.Params {
+			encodeRef(r)
+		}
+		encodeRef(n.Output)
+	}
+	w.Label("edges")
+	for v := range g.Nodes {
+		w.Ints(g.in[v])
+	}
+}
+
+// Fingerprint returns the graph's canonical fingerprint.
+func (g *Graph) Fingerprint() canon.Fingerprint {
+	w := canon.NewWriter()
+	g.CanonicalEncode(w)
+	return w.Sum()
 }
 
 // Validate checks structural invariants: space validity, input arity matching

@@ -227,3 +227,58 @@ func TestOpTypeString(t *testing.T) {
 		t.Fatal("OpType.String broken")
 	}
 }
+
+// fanOutGraph builds source → {left, right} with the two out-edges of the
+// source added in the given order.
+func fanOutGraph(leftFirst bool) *Graph {
+	g := New()
+	sp := itspace.Space{{Name: "b", Size: 8}, {Name: "c", Size: 4}}
+	src := g.AddNode(&Node{Name: "src", Op: OpFC, Space: sp, Output: TensorRef{Map: []int{0, 1}}, FlopsPerPoint: 2})
+	left := g.AddNode(&Node{Name: "left", Op: OpFC, Space: sp, Output: TensorRef{Map: []int{0, 1}},
+		Inputs: []TensorRef{{Map: []int{0, 1}}}, FlopsPerPoint: 2})
+	right := g.AddNode(&Node{Name: "right", Op: OpFC, Space: sp, Output: TensorRef{Map: []int{0, 1}},
+		Inputs: []TensorRef{{Map: []int{0, 1}}}, FlopsPerPoint: 2})
+	if leftFirst {
+		g.AddEdge(src, left)
+		g.AddEdge(src, right)
+	} else {
+		g.AddEdge(src, right)
+		g.AddEdge(src, left)
+	}
+	return g
+}
+
+func TestFingerprintIgnoresOutEdgeOrder(t *testing.T) {
+	// Out-edge insertion order carries no semantics (every out-edge ships
+	// the same output tensor), so it must not change the fingerprint.
+	if fanOutGraph(true).Fingerprint() != fanOutGraph(false).Fingerprint() {
+		t.Fatal("out-edge insertion order changed the graph fingerprint")
+	}
+}
+
+func TestFingerprintSeesSemanticChanges(t *testing.T) {
+	base := fanOutGraph(true).Fingerprint()
+	for name, mutate := range map[string]func(g *Graph){
+		"flops":     func(g *Graph) { g.Nodes[1].FlopsPerPoint = 4 },
+		"dim size":  func(g *Graph) { g.Nodes[2].Space[0].Size = 16 },
+		"dim name":  func(g *Graph) { g.Nodes[0].Space[1].Name = "k" },
+		"op":        func(g *Graph) { g.Nodes[0].Op = OpConv2D },
+		"param ref": func(g *Graph) { g.Nodes[1].Params = []TensorRef{{Map: []int{0, 1}, Param: true}} },
+		"halo":      func(g *Graph) { g.Nodes[0].Halo = []int64{0, 1} },
+		"norm dims": func(g *Graph) { g.Nodes[2].NormDims = []int{1} },
+		"scale":     func(g *Graph) { g.Nodes[0].Output.Scale = 4 },
+	} {
+		g := fanOutGraph(true)
+		mutate(g)
+		if g.Fingerprint() == base {
+			t.Errorf("%s: semantic change left fingerprint unchanged", name)
+		}
+	}
+	// An extra edge changes the fingerprint even with nodes unchanged.
+	g := fanOutGraph(true)
+	g.Nodes[2].Inputs = append(g.Nodes[2].Inputs, TensorRef{Map: []int{0, 1}})
+	g.AddEdge(g.Nodes[1], g.Nodes[2])
+	if g.Fingerprint() == base {
+		t.Error("added edge left fingerprint unchanged")
+	}
+}

@@ -1,6 +1,10 @@
 package itspace
 
-import "sort"
+import (
+	"sort"
+
+	"pase/internal/canon"
+)
 
 // EnumPolicy controls which configurations Enumerate generates for a space.
 //
@@ -24,6 +28,15 @@ type EnumPolicy struct {
 	// equal to p — but also under-subscribed configs are legal per §II); the
 	// default keeps them.
 	RequireFullDegree bool
+}
+
+// CanonicalEncode writes the policy's canonical form for request
+// fingerprinting. Both fields change which configurations exist, so both are
+// part of a solve's identity.
+func (pol EnumPolicy) CanonicalEncode(w *canon.Writer) {
+	w.Label("itspace.EnumPolicy")
+	w.Int(pol.MaxSplitDims)
+	w.Bool(pol.RequireFullDegree)
 }
 
 // divisorSplits returns the candidate split factors for a dimension of the

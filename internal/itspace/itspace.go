@@ -11,6 +11,8 @@ package itspace
 import (
 	"fmt"
 	"strings"
+
+	"pase/internal/canon"
 )
 
 // Dim is one named dimension of an iteration space, e.g. the batch dimension
@@ -57,6 +59,17 @@ func (s Space) Names() string {
 		b.WriteString(d.Name)
 	}
 	return b.String()
+}
+
+// CanonicalEncode writes the space's canonical form (dimension names and
+// extents, in order) for request fingerprinting.
+func (s Space) CanonicalEncode(w *canon.Writer) {
+	w.Label("itspace.Space")
+	w.Len(len(s))
+	for _, d := range s {
+		w.Str(d.Name)
+		w.I64(d.Size)
+	}
 }
 
 // Validate reports an error if any dimension is non-positive or unnamed.

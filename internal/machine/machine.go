@@ -4,7 +4,11 @@
 // into FLOP-equivalents (paper Eq. 1).
 package machine
 
-import "fmt"
+import (
+	"fmt"
+
+	"pase/internal/canon"
+)
 
 // Spec describes a homogeneous cluster of p devices. The paper's cost model
 // only needs the average peak per-device FLOPS F and the average per-link
@@ -56,6 +60,24 @@ func (s Spec) Nodes() int {
 		n = 1
 	}
 	return n
+}
+
+// CanonicalEncode writes the spec's canonical form for request
+// fingerprinting: every field the cost model or simulator reads. Name is
+// deliberately excluded — it is cosmetic, so numerically identical machines
+// under different labels share cached solves.
+func (s Spec) CanonicalEncode(w *canon.Writer) {
+	w.Label("machine.Spec")
+	w.Int(s.Devices)
+	w.F64(s.PeakFLOPS)
+	w.F64(s.LinkBW)
+	w.Int(s.GPUsPerNode)
+	w.F64(s.IntraBW)
+	w.F64(s.InterBW)
+	w.Bool(s.PeerToPeer)
+	w.F64(s.LatencySec)
+	w.F64(s.ComputeEff)
+	w.F64(s.OverheadSec)
 }
 
 // Validate reports configuration errors.
@@ -168,14 +190,27 @@ func Heterogeneous(specs ...Spec) (Spec, error) {
 // Uniform returns a simple single-link-class machine, convenient for tests
 // and for users with custom hardware.
 func Uniform(devices int, peakFLOPS, linkBW float64) Spec {
+	return UniformCluster(devices, devices, peakFLOPS, linkBW, linkBW)
+}
+
+// UniformCluster generalizes Uniform to a multi-node layout: devices split
+// across nodes of gpusPerNode, with distinct intra- and inter-node
+// bandwidths. The analytic model's single average link bandwidth is the same
+// ring-hop harmonic blend the built-in 1080Ti/2080Ti profiles use. It backs
+// the CLI's "uniform:<devices-per-node>:<flops>:<intra-bw>:<inter-bw>"
+// machine spec.
+func UniformCluster(devices, gpusPerNode int, peakFLOPS, intraBW, interBW float64) Spec {
+	if gpusPerNode < 1 {
+		gpusPerNode = devices
+	}
 	return Spec{
 		Name:        "uniform",
 		Devices:     devices,
 		PeakFLOPS:   peakFLOPS,
-		LinkBW:      linkBW,
-		GPUsPerNode: devices,
-		IntraBW:     linkBW,
-		InterBW:     linkBW,
+		LinkBW:      avgBW(devices, gpusPerNode, intraBW, interBW),
+		GPUsPerNode: gpusPerNode,
+		IntraBW:     intraBW,
+		InterBW:     interBW,
 		PeerToPeer:  true,
 		LatencySec:  10e-6,
 		ComputeEff:  1.0,

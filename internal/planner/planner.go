@@ -1,0 +1,405 @@
+// Package planner is the serving layer above the solve pipeline: a Planner
+// canonically fingerprints each request (internal/canon), caches built cost
+// models and solved results in bounded LRU caches keyed by those
+// fingerprints, deduplicates concurrent identical requests down to a single
+// underlying solve (singleflight), and fans independent batch requests across
+// a worker pool that shares the caches.
+//
+// The paper's thesis is that strategy search should be cheap enough to run
+// routinely; the planner makes *repeated* and *concurrent* search cheap:
+// a second identical request is a cache hit that performs no model build and
+// no DP run, and N simultaneous identical requests cost one solve.
+package planner
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pase/internal/canon"
+	"pase/internal/core"
+	"pase/internal/cost"
+	"pase/internal/graph"
+	"pase/internal/itspace"
+	"pase/internal/machine"
+	"pase/internal/seq"
+)
+
+// Options tunes a solve request. It is re-exported as pase.Options.
+type Options struct {
+	// Policy restricts configuration enumeration (zero value: the paper's
+	// divisibility rule only).
+	Policy itspace.EnumPolicy
+	// MaxTableEntries bounds the DP tables' peak live memory (tables are
+	// freed as soon as no later recurrence lookup can read them); exceeding
+	// it returns core.ErrOOM. Zero selects core.DefaultMaxTableEntries.
+	MaxTableEntries int64
+	// BreadthFirst switches to the naive Section III-A ordering (the
+	// baseline that OOMs on InceptionV3/Transformer). Default: GENERATESEQ.
+	BreadthFirst bool
+	// Workers parallelizes each vertex's DP-table fill across goroutines
+	// (results are byte-identical at any worker count, so Workers is NOT
+	// part of a request's cache identity). Zero — the default — uses all
+	// available CPUs; set 1 for the explicit serial mode.
+	Workers int
+}
+
+// Result is a found strategy with its cost and search statistics. It is
+// re-exported as pase.Result.
+type Result struct {
+	// Strategy is the best strategy found.
+	Strategy graph.Strategy
+	// Cost is the estimated per-step time of the strategy under the model.
+	Cost float64
+	// SearchTime is the end-to-end time of this request, including cost
+	// model construction (ModelTime) when one was built.
+	SearchTime time.Duration
+	// ModelTime is how long this request spent building the cost model;
+	// zero when the model came from cache or was supplied prebuilt.
+	ModelTime time.Duration
+	// MaxDepSize is the paper's M for the ordering used.
+	MaxDepSize int
+	// States is the number of (φ, C) combinations the DP evaluated.
+	States int64
+	// Cached reports that this result was served without running a new
+	// underlying solve: either a result-cache hit or a ride-along on a
+	// concurrent identical request's solve.
+	Cached bool
+	// Fingerprint is the canonical request fingerprint (hex), the planner's
+	// cache key for this request.
+	Fingerprint string
+}
+
+// clone returns an independent copy whose strategy the caller may mutate.
+func (r *Result) clone() *Result {
+	out := *r
+	out.Strategy = r.Strategy.Clone()
+	return &out
+}
+
+// Request is one solve request: a graph, a machine, and solve options.
+// Graphs handed to the planner must not be mutated afterwards — the planner
+// caches models and results under the graph's fingerprint at request time.
+type Request struct {
+	G    *graph.Graph
+	Spec machine.Spec
+	Opts Options
+}
+
+// BatchItem is one outcome of FindBatch, aligned with the request slice.
+type BatchItem struct {
+	Result *Result
+	Err    error
+}
+
+// Config sizes a Planner. The zero value selects sensible defaults.
+type Config struct {
+	// ModelCacheSize bounds the cost-model LRU (default 16 models). Models
+	// are the expensive, memory-heavy artifact: all TL/TX tables for one
+	// (graph, machine, policy).
+	ModelCacheSize int
+	// ResultCacheSize bounds the solved-result LRU (default 128 results).
+	ResultCacheSize int
+	// BatchWorkers bounds FindBatch's request-level concurrency (default
+	// GOMAXPROCS).
+	BatchWorkers int
+}
+
+func (c Config) modelCacheSize() int {
+	if c.ModelCacheSize == 0 {
+		return 16
+	}
+	return c.ModelCacheSize
+}
+
+func (c Config) resultCacheSize() int {
+	if c.ResultCacheSize == 0 {
+		return 128
+	}
+	return c.ResultCacheSize
+}
+
+func (c Config) batchWorkers() int {
+	if c.BatchWorkers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.BatchWorkers
+}
+
+// Stats is a snapshot of the planner's cache and dedup counters. "One
+// underlying solve per unique request" means Solves equals the number of
+// distinct fingerprints ever requested (while none has been evicted).
+type Stats struct {
+	// Solves counts underlying DP runs actually performed.
+	Solves int64 `json:"solves"`
+	// ModelBuilds counts cost models actually constructed.
+	ModelBuilds int64 `json:"model_builds"`
+	// ResultHits / ResultMisses count result-cache lookups.
+	ResultHits   int64 `json:"result_hits"`
+	ResultMisses int64 `json:"result_misses"`
+	// ModelHits / ModelMisses count model-cache lookups (solves only; a
+	// result-cache hit never consults the model cache).
+	ModelHits   int64 `json:"model_hits"`
+	ModelMisses int64 `json:"model_misses"`
+	// DedupWaits counts requests that rode along on a concurrent identical
+	// request's in-flight solve instead of starting their own.
+	DedupWaits int64 `json:"dedup_waits"`
+	// ResultEvictions / ModelEvictions count LRU evictions.
+	ResultEvictions int64 `json:"result_evictions"`
+	ModelEvictions  int64 `json:"model_evictions"`
+}
+
+type solveFlight struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+type modelFlight struct {
+	done chan struct{}
+	m    *cost.Model
+	err  error
+}
+
+// Planner caches, deduplicates, and serves strategy solves. It is safe for
+// concurrent use by any number of goroutines.
+type Planner struct {
+	cfg Config
+
+	mu           sync.Mutex
+	models       *lruCache[canon.Fingerprint, *cost.Model]
+	results      *lruCache[canon.Fingerprint, *Result]
+	solveFlights map[canon.Fingerprint]*solveFlight
+	modelFlights map[canon.Fingerprint]*modelFlight
+	stats        Stats
+}
+
+// New returns a Planner sized by cfg (zero value: defaults).
+func New(cfg Config) *Planner {
+	p := &Planner{
+		cfg:          cfg,
+		solveFlights: map[canon.Fingerprint]*solveFlight{},
+		modelFlights: map[canon.Fingerprint]*modelFlight{},
+	}
+	p.models = newLRU[canon.Fingerprint, *cost.Model](cfg.modelCacheSize(), func(canon.Fingerprint, *cost.Model) {
+		p.stats.ModelEvictions++
+	})
+	p.results = newLRU[canon.Fingerprint, *Result](cfg.resultCacheSize(), func(canon.Fingerprint, *Result) {
+		p.stats.ResultEvictions++
+	})
+	return p
+}
+
+// Fingerprints returns the model- and solve-level canonical fingerprints of a
+// request. The model fingerprint covers (graph, machine, enumeration
+// policy); the solve fingerprint extends it with the result-relevant solver
+// options (ordering choice and the effective memory budget — Workers is
+// excluded because results are byte-identical at any worker count).
+func Fingerprints(req Request) (modelFP, solveFP canon.Fingerprint) {
+	w := canon.NewWriter()
+	w.Label("pase.request/v1")
+	req.G.CanonicalEncode(w)
+	req.Spec.CanonicalEncode(w)
+	req.Opts.Policy.CanonicalEncode(w)
+	modelFP = w.Sum()
+	w.Label("solve-options")
+	budget := req.Opts.MaxTableEntries
+	if budget <= 0 {
+		budget = core.DefaultMaxTableEntries
+	}
+	w.I64(budget)
+	w.Bool(req.Opts.BreadthFirst)
+	solveFP = w.Sum()
+	return modelFP, solveFP
+}
+
+// Find solves (g, spec, opts), serving from cache when an identical request
+// has been solved before and joining an in-flight identical solve when one is
+// running. The returned Result is the caller's to keep: its Strategy is an
+// independent copy.
+func (p *Planner) Find(g *graph.Graph, spec machine.Spec, opts Options) (*Result, error) {
+	return p.Solve(Request{G: g, Spec: spec, Opts: opts})
+}
+
+// Solve is Find over a Request value.
+func (p *Planner) Solve(req Request) (*Result, error) {
+	start := time.Now()
+	if req.G == nil {
+		return nil, errors.New("planner: nil graph")
+	}
+	modelFP, solveFP := Fingerprints(req)
+
+	p.mu.Lock()
+	if r, ok := p.results.Get(solveFP); ok {
+		p.stats.ResultHits++
+		p.mu.Unlock()
+		out := r.clone()
+		out.Cached = true
+		out.ModelTime = 0
+		out.SearchTime = time.Since(start)
+		return out, nil
+	}
+	if fl, ok := p.solveFlights[solveFP]; ok {
+		p.stats.DedupWaits++
+		p.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		out := fl.res.clone()
+		out.Cached = true
+		out.ModelTime = 0
+		out.SearchTime = time.Since(start)
+		return out, nil
+	}
+	p.stats.ResultMisses++
+	fl := &solveFlight{done: make(chan struct{})}
+	p.solveFlights[solveFP] = fl
+	p.mu.Unlock()
+
+	res, err := p.doSolve(req, modelFP, solveFP, start)
+
+	p.mu.Lock()
+	delete(p.solveFlights, solveFP)
+	if err == nil {
+		p.results.Put(solveFP, res)
+	}
+	fl.res, fl.err = res, err
+	p.mu.Unlock()
+	close(fl.done)
+	if err != nil {
+		return nil, err
+	}
+	return res.clone(), nil
+}
+
+// doSolve performs the one underlying solve for a fingerprint: model
+// acquisition (cached, deduplicated, or built) followed by ordering + DP.
+func (p *Planner) doSolve(req Request, modelFP, solveFP canon.Fingerprint, start time.Time) (*Result, error) {
+	m, modelTime, err := p.model(req, modelFP)
+	if err != nil {
+		return nil, err
+	}
+	var sq *seq.Sequence
+	if req.Opts.BreadthFirst {
+		sq = seq.BFS(m.G)
+	} else {
+		sq = seq.Generate(m.G)
+	}
+	r, err := core.Solve(m, sq, core.Options{
+		MaxTableEntries: req.Opts.MaxTableEntries,
+		Workers:         req.Opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.stats.Solves++
+	p.mu.Unlock()
+	return &Result{
+		Strategy:    r.Strategy,
+		Cost:        r.Cost,
+		SearchTime:  time.Since(start),
+		ModelTime:   modelTime,
+		MaxDepSize:  r.Stats.MaxDepSize,
+		States:      r.Stats.States,
+		Fingerprint: solveFP.String(),
+	}, nil
+}
+
+// Model returns the cost model for (g, spec, pol), from cache when possible.
+// Callers that need direct model access (MCMC search, strategy costing,
+// simulation baselines) share the planner's model cache this way.
+func (p *Planner) Model(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy) (*cost.Model, error) {
+	req := Request{G: g, Spec: spec, Opts: Options{Policy: pol}}
+	modelFP, _ := Fingerprints(req)
+	m, _, err := p.model(req, modelFP)
+	return m, err
+}
+
+// model acquires the request's cost model: cache hit, ride-along on a
+// concurrent build, or a fresh build. The returned duration is the time this
+// call spent building (zero for hits and ride-alongs).
+func (p *Planner) model(req Request, modelFP canon.Fingerprint) (*cost.Model, time.Duration, error) {
+	p.mu.Lock()
+	if m, ok := p.models.Get(modelFP); ok {
+		p.stats.ModelHits++
+		p.mu.Unlock()
+		return m, 0, nil
+	}
+	if fl, ok := p.modelFlights[modelFP]; ok {
+		p.mu.Unlock()
+		<-fl.done
+		return fl.m, 0, fl.err
+	}
+	p.stats.ModelMisses++
+	fl := &modelFlight{done: make(chan struct{})}
+	p.modelFlights[modelFP] = fl
+	p.mu.Unlock()
+
+	m, err := cost.NewModel(req.G, req.Spec, req.Opts.Policy)
+
+	p.mu.Lock()
+	delete(p.modelFlights, modelFP)
+	if err == nil {
+		p.stats.ModelBuilds++
+		p.models.Put(modelFP, m)
+	}
+	fl.m, fl.err = m, err
+	p.mu.Unlock()
+	close(fl.done)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, m.BuildTime, nil
+}
+
+// FindBatch solves independent requests concurrently across the planner's
+// worker pool, sharing cached models and deduplicating identical entries down
+// to one solve. The returned slice is aligned with reqs.
+func (p *Planner) FindBatch(reqs []Request) []BatchItem {
+	out := make([]BatchItem, len(reqs))
+	nw := p.cfg.batchWorkers()
+	if nw > len(reqs) {
+		nw = len(reqs)
+	}
+	if nw <= 1 {
+		for i := range reqs {
+			out[i].Result, out[i].Err = p.Solve(reqs[i])
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				out[i].Result, out[i].Err = p.Solve(reqs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats returns a snapshot of the planner's counters.
+func (p *Planner) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// CacheSizes reports the current model- and result-cache entry counts.
+func (p *Planner) CacheSizes() (models, results int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.models.Len(), p.results.Len()
+}

@@ -1,0 +1,259 @@
+package planner
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"pase/internal/core"
+	"pase/internal/cost"
+	"pase/internal/machine"
+	"pase/internal/models"
+	"pase/internal/seq"
+)
+
+// directSolve runs the raw pipeline (no planner) as the oracle.
+func directSolve(t *testing.T, req Request) *core.Result {
+	t.Helper()
+	m, err := cost.NewModel(req.G, req.Spec, req.Opts.Policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Solve(m, seq.Generate(m.G), core.Options{
+		MaxTableEntries: req.Opts.MaxTableEntries,
+		Workers:         req.Opts.Workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func alexReq(p int) Request {
+	return Request{G: models.AlexNet(128), Spec: machine.GTX1080Ti(p)}
+}
+
+func rnnReq(p int) Request {
+	return Request{G: models.RNNLM(64), Spec: machine.GTX1080Ti(p)}
+}
+
+func TestConcurrentRequestsMatchDirectFindWithOneSolvePerFingerprint(t *testing.T) {
+	// The satellite acceptance: N goroutines issuing identical + distinct
+	// requests must produce byte-identical strategies to the direct
+	// pipeline, with exactly one underlying solve per unique fingerprint.
+	uniques := []Request{alexReq(8), alexReq(16), rnnReq(8)}
+	oracles := make([]*core.Result, len(uniques))
+	for i, req := range uniques {
+		oracles[i] = directSolve(t, req)
+	}
+
+	p := New(Config{})
+	const perUnique = 8
+	var wg sync.WaitGroup
+	results := make([]*Result, len(uniques)*perUnique)
+	errs := make([]error, len(results))
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Re-build the graph per goroutine: identical content from a
+			// different construction must still dedup onto one solve.
+			u := i % len(uniques)
+			var req Request
+			switch u {
+			case 0:
+				req = alexReq(8)
+			case 1:
+				req = alexReq(16)
+			default:
+				req = rnnReq(8)
+			}
+			results[i], errs[i] = p.Solve(req)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i, res := range results {
+		want := oracles[i%len(uniques)]
+		if !reflect.DeepEqual(res.Strategy, want.Strategy) {
+			t.Fatalf("request %d: strategy differs from direct solve", i)
+		}
+		if res.Cost != want.Cost {
+			t.Fatalf("request %d: cost %v != direct %v", i, res.Cost, want.Cost)
+		}
+	}
+
+	st := p.Stats()
+	if st.Solves != int64(len(uniques)) {
+		t.Fatalf("Solves = %d, want exactly %d (one per unique fingerprint)", st.Solves, len(uniques))
+	}
+	if st.ModelBuilds != int64(len(uniques)) {
+		t.Fatalf("ModelBuilds = %d, want %d", st.ModelBuilds, len(uniques))
+	}
+	served := st.ResultHits + st.DedupWaits + st.ResultMisses
+	if served != int64(len(results)) {
+		t.Fatalf("hits(%d) + dedup(%d) + misses(%d) = %d, want %d requests",
+			st.ResultHits, st.DedupWaits, st.ResultMisses, served, len(results))
+	}
+}
+
+func TestCacheHitPerformsNoNewWork(t *testing.T) {
+	p := New(Config{})
+	first, err := p.Solve(alexReq(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first solve reported Cached")
+	}
+	if first.ModelTime <= 0 {
+		t.Fatal("first solve reported no model-build time")
+	}
+	before := p.Stats()
+	second, err := p.Solve(alexReq(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := p.Stats()
+	if !second.Cached {
+		t.Fatal("second identical request not served from cache")
+	}
+	if second.ModelTime != 0 {
+		t.Fatal("cache hit reported model-build time")
+	}
+	if after.Solves != before.Solves || after.ModelBuilds != before.ModelBuilds {
+		t.Fatalf("cache hit ran new work: solves %d→%d, builds %d→%d",
+			before.Solves, after.Solves, before.ModelBuilds, after.ModelBuilds)
+	}
+	if after.ResultHits != before.ResultHits+1 {
+		t.Fatalf("ResultHits %d→%d, want +1", before.ResultHits, after.ResultHits)
+	}
+	if !reflect.DeepEqual(first.Strategy, second.Strategy) || first.Cost != second.Cost {
+		t.Fatal("cached result differs from original")
+	}
+	if first.Fingerprint == "" || first.Fingerprint != second.Fingerprint {
+		t.Fatalf("fingerprints disagree: %q vs %q", first.Fingerprint, second.Fingerprint)
+	}
+}
+
+func TestResultsAreIndependentCopies(t *testing.T) {
+	p := New(Config{})
+	a, err := p.Solve(alexReq(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Strategy[0][0] = -99 // caller mutates their copy
+	b, err := p.Solve(alexReq(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Strategy[0][0] == -99 {
+		t.Fatal("cached strategy aliases a previously returned one")
+	}
+}
+
+func TestLRUEvictionIsDeterministic(t *testing.T) {
+	// Tiny budget: 2 results, 1 model. Requests A, B, C have distinct
+	// fingerprints; after C the least-recently-used result (A) must be the
+	// one evicted, so A re-solves while B and C stay hits.
+	p := New(Config{ResultCacheSize: 2, ModelCacheSize: 1})
+	reqA, reqB, reqC := alexReq(8), alexReq(16), rnnReq(8)
+	for _, r := range []Request{reqA, reqB, reqC} {
+		if _, err := p.Solve(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Solves != 3 {
+		t.Fatalf("Solves = %d, want 3", st.Solves)
+	}
+	if st.ResultEvictions != 1 {
+		t.Fatalf("ResultEvictions = %d, want 1 (A evicted by C)", st.ResultEvictions)
+	}
+	if st.ModelEvictions != 2 {
+		t.Fatalf("ModelEvictions = %d, want 2 (model cache of 1)", st.ModelEvictions)
+	}
+	if models, results := p.CacheSizes(); models != 1 || results != 2 {
+		t.Fatalf("cache sizes (%d, %d), want (1, 2)", models, results)
+	}
+
+	// B then C: hits, no new solves. Their recency order is now B < C.
+	for _, r := range []Request{reqB, reqC} {
+		res, err := p.Solve(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Cached {
+			t.Fatal("expected cache hit")
+		}
+	}
+	if st := p.Stats(); st.Solves != 3 {
+		t.Fatalf("hits re-solved: Solves = %d", st.Solves)
+	}
+	// A was evicted: requesting it re-solves and evicts B (LRU), not C.
+	if res, err := p.Solve(reqA); err != nil || res.Cached {
+		t.Fatalf("A should re-solve (err=%v, cached=%v)", err, res.Cached)
+	}
+	if res, err := p.Solve(reqC); err != nil || !res.Cached {
+		t.Fatalf("C should still be cached (err=%v)", err)
+	}
+	if res, err := p.Solve(reqB); err != nil || res.Cached {
+		t.Fatalf("B should have been evicted by A (err=%v, cached=%v)", err, res.Cached)
+	}
+	if st := p.Stats(); st.Solves != 5 {
+		t.Fatalf("Solves = %d, want 5 (3 cold + A and B re-solves)", st.Solves)
+	}
+}
+
+func TestFingerprintNormalization(t *testing.T) {
+	base := alexReq(8)
+
+	// Workers is excluded: byte-identical results at any worker count.
+	w1, w8 := base, base
+	w1.Opts.Workers = 1
+	w8.Opts.Workers = 8
+	_, fpW1 := Fingerprints(w1)
+	_, fpW8 := Fingerprints(w8)
+	if fpW1 != fpW8 {
+		t.Error("Workers changed the solve fingerprint")
+	}
+
+	// MaxTableEntries zero and the explicit default are the same request.
+	explicit := base
+	explicit.Opts.MaxTableEntries = core.DefaultMaxTableEntries
+	_, a := Fingerprints(base)
+	_, b := Fingerprints(explicit)
+	if a != b {
+		t.Error("default MaxTableEntries normalization failed")
+	}
+
+	// BreadthFirst and the memory budget are part of the solve identity but
+	// not the model identity.
+	bf := base
+	bf.Opts.BreadthFirst = true
+	mA, sA := Fingerprints(base)
+	mB, sB := Fingerprints(bf)
+	if mA != mB {
+		t.Error("BreadthFirst changed the model fingerprint")
+	}
+	if sA == sB {
+		t.Error("BreadthFirst did not change the solve fingerprint")
+	}
+
+	// Machine Name is cosmetic; numbers are not.
+	named := base
+	named.Spec.Name = "renamed"
+	if _, b := Fingerprints(named); sA != b {
+		t.Error("machine name changed the fingerprint")
+	}
+	faster := base
+	faster.Spec.PeakFLOPS *= 2
+	if _, b := Fingerprints(faster); sA == b {
+		t.Error("machine FLOPS did not change the fingerprint")
+	}
+}

@@ -12,9 +12,24 @@
 //	res, err := pase.Find(g, pase.GTX1080Ti(32), pase.Options{})
 //	// res.Strategy[nodeID] is the per-layer parallelization configuration.
 //
+// Find is served by a package-default Planner: requests are canonically
+// fingerprinted, solved results and built cost models are cached in bounded
+// LRUs, and concurrent identical requests share one underlying solve. For an
+// explicitly sized planner (a long-lived service, a sweep):
+//
+//	pl := pase.NewPlanner(pase.PlannerConfig{ResultCacheSize: 1024})
+//	res, err := pl.Find(g, pase.GTX1080Ti(32), pase.Options{})  // solves
+//	res, err = pl.Find(g, pase.GTX1080Ti(32), pase.Options{})   // cache hit
+//	items := pl.FindBatch([]pase.SolveRequest{{G: g1, Spec: spec}, {G: g2, Spec: spec}})
+//	fmt.Println(pl.Stats()) // solves, hits, dedup waits, evictions
+//
+// The same planner powers cmd/pased, an HTTP JSON daemon serving
+// POST /v1/solve, POST /v1/batch, GET /v1/healthz, and GET /v1/stats.
+//
 // See DESIGN.md for the solve-pipeline architecture (enumeration → ordering
-// → cost tables → dynamic program → back-substitution) and its parallelism
-// and memory-liveness design.
+// → cost tables → dynamic program → back-substitution), its parallelism and
+// memory-liveness design, and the serving layer (fingerprinting, cache
+// keying, singleflight, batch fan-out).
 package pase
 
 import (
@@ -32,6 +47,7 @@ import (
 	"pase/internal/mcmc"
 	"pase/internal/memory"
 	"pase/internal/models"
+	"pase/internal/planner"
 	"pase/internal/seq"
 	"pase/internal/sim"
 	"pase/internal/strategies"
@@ -85,6 +101,14 @@ var (
 	RTX2080Ti = machine.RTX2080Ti
 	// UniformMachine builds a single-link-class machine from raw numbers.
 	UniformMachine = machine.Uniform
+	// UniformCluster builds a multi-node single-link-class machine (distinct
+	// intra-/inter-node bandwidths) from raw numbers.
+	UniformCluster = machine.UniformCluster
+	// ParseMachine resolves a machine-spec string ("1080ti", "2080ti", or
+	// "uniform:<devices-per-node>:<flops>:<intra-bw>:<inter-bw>") for p
+	// devices — the parser behind the CLI -machine flag and the daemon's
+	// "machine" field.
+	ParseMachine = machine.Parse
 )
 
 // The paper's benchmark models.
@@ -112,38 +136,47 @@ var (
 	BenchmarkByName = models.ByName
 )
 
-// Options tunes Find.
-type Options struct {
-	// Policy restricts configuration enumeration (zero value: the paper's
-	// divisibility rule only).
-	Policy EnumPolicy
-	// MaxTableEntries bounds the DP tables' peak live memory (tables are
-	// freed as soon as no later recurrence lookup can read them); exceeding
-	// it returns core.ErrOOM. Zero selects the default (~16M entries).
-	MaxTableEntries int64
-	// BreadthFirst switches to the naive Section III-A ordering (the
-	// baseline that OOMs on InceptionV3/Transformer). Default: GENERATESEQ.
-	BreadthFirst bool
-	// Workers parallelizes each vertex's DP-table fill across goroutines
-	// (an extension over the paper's single-threaded prototype; results are
-	// byte-identical at any worker count). Zero — the default — uses all
-	// available CPUs; set 1 for the explicit serial mode.
-	Workers int
-}
+// Options tunes Find. See planner.Options for field documentation: Policy
+// restricts enumeration, MaxTableEntries bounds DP memory, BreadthFirst
+// selects the naive ordering baseline, Workers sets DP fill parallelism.
+type Options = planner.Options
 
-// Result is a found strategy with its cost and search statistics.
-type Result struct {
-	// Strategy is the best strategy found.
-	Strategy Strategy
-	// Cost is F(G, φ) in FLOP units (divide by peak FLOPS for seconds).
-	Cost float64
-	// SearchTime is how long the search took.
-	SearchTime time.Duration
-	// MaxDepSize is the paper's M for the ordering used.
-	MaxDepSize int
-	// States is the number of (φ, C) combinations the DP evaluated.
-	States int64
-}
+// Result is a found strategy with its cost and search statistics, including
+// end-to-end SearchTime, the ModelTime share spent building cost tables, and
+// whether the planner served it from cache (Cached, Fingerprint).
+type Result = planner.Result
+
+// Planner is the serving layer above the solve pipeline: bounded LRU caches
+// for built cost models and solved results keyed by canonical request
+// fingerprints, singleflight deduplication of concurrent identical requests,
+// and batch fan-out across a worker pool. Safe for concurrent use. Graphs
+// handed to a planner must not be mutated afterwards (see Find).
+type Planner = planner.Planner
+
+// PlannerConfig sizes a Planner's caches and batch worker pool.
+type PlannerConfig = planner.Config
+
+// PlannerStats is a snapshot of a Planner's cache and dedup counters.
+type PlannerStats = planner.Stats
+
+// SolveRequest is one entry of Planner.FindBatch.
+type SolveRequest = planner.Request
+
+// BatchItem is one outcome of Planner.FindBatch.
+type BatchItem = planner.BatchItem
+
+// NewPlanner returns a Planner sized by cfg (zero value: defaults — 16
+// models, 128 results, GOMAXPROCS batch workers).
+func NewPlanner(cfg PlannerConfig) *Planner { return planner.New(cfg) }
+
+// defaultPlanner serves package-level Find calls so that repeated and
+// concurrent identical requests anywhere in a process are cached and
+// deduplicated without any setup.
+var defaultPlanner = planner.New(planner.Config{})
+
+// DefaultPlanner returns the package-default planner behind Find, for
+// callers that want its stats or batch API without constructing their own.
+func DefaultPlanner() *Planner { return defaultPlanner }
 
 // ErrOOM is returned when the DP tables exceed the memory budget (the
 // paper's Table I "OOM" outcome for breadth-first ordering).
@@ -156,17 +189,25 @@ func NewModel(g *Graph, spec Machine, pol EnumPolicy) (*Model, error) {
 }
 
 // Find runs the paper's FINDBESTSTRATEGY on the graph for the machine,
-// returning the minimum-cost strategy under the analytic cost model.
+// returning the minimum-cost strategy under the analytic cost model. It is a
+// thin wrapper over the package-default Planner: identical repeated requests
+// are cache hits, and concurrent identical requests share one solve.
+// SearchTime is end to end (model construction included); ModelTime isolates
+// the model-build share.
+//
+// Do not mutate g after calling Find: the planner caches cost models and
+// results under the graph's fingerprint at request time, and a later
+// mutation would desynchronize cached state from the fingerprint. Build a
+// new graph instead (construction is microseconds; identical content hashes
+// to the same cache entries).
 func Find(g *Graph, spec Machine, opts Options) (*Result, error) {
-	m, err := cost.NewModel(g, spec, opts.Policy)
-	if err != nil {
-		return nil, err
-	}
-	return FindWithModel(m, opts)
+	return defaultPlanner.Find(g, spec, opts)
 }
 
-// FindWithModel is Find over a prebuilt model (reuse it to amortize cost
-// table construction across calls).
+// FindWithModel is Find over a prebuilt model, bypassing the planner's
+// caches (reuse the model to amortize cost-table construction across calls).
+// SearchTime covers ordering + DP only; ModelTime is zero because this call
+// built no model.
 func FindWithModel(m *Model, opts Options) (*Result, error) {
 	start := time.Now()
 	var sq *seq.Sequence

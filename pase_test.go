@@ -150,3 +150,61 @@ func TestOrderingStats(t *testing.T) {
 		t.Fatalf("K = %d out of the paper's reported range", maxK)
 	}
 }
+
+func TestPlannerCacheHitSpeedupOnTransformer(t *testing.T) {
+	// Serving-layer acceptance: a second identical request through
+	// Planner.Find is a cache hit — no new model build or DP run, ≥100×
+	// faster than the cold solve, byte-identical in strategy and cost.
+	const p = 32
+	bm, err := BenchmarkByName("transformer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := bm.Build(bm.Batch)
+	pl := NewPlanner(PlannerConfig{})
+	opts := Options{Policy: bm.Policy(p)}
+
+	cold, err := pl.Find(g, GTX1080Ti(p), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("cold solve reported Cached")
+	}
+
+	warm, err := pl.Find(g, GTX1080Ti(p), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("second identical request was not a cache hit")
+	}
+	st := pl.Stats()
+	if st.Solves != 1 || st.ModelBuilds != 1 {
+		t.Fatalf("cache hit ran new work: %d solves, %d model builds", st.Solves, st.ModelBuilds)
+	}
+	if warm.Cost != cold.Cost {
+		t.Fatalf("cached cost %v != cold cost %v", warm.Cost, cold.Cost)
+	}
+	for v := range cold.Strategy {
+		if !cold.Strategy[v].Equal(warm.Strategy[v]) {
+			t.Fatalf("node %d: cached config %v != cold %v", v, warm.Strategy[v], cold.Strategy[v])
+		}
+	}
+	// ≥100× wall-clock: the warm path is a lock + LRU lookup + clone, the
+	// cold path a multi-second DP. Take the best of a few warm samples to
+	// keep scheduler noise out of the ratio.
+	best := warm.SearchTime
+	for i := 0; i < 4; i++ {
+		r, err := pl.Find(g, GTX1080Ti(p), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.SearchTime < best {
+			best = r.SearchTime
+		}
+	}
+	if best*100 > cold.SearchTime {
+		t.Fatalf("cache hit %v not ≥100× faster than cold solve %v", best, cold.SearchTime)
+	}
+}
