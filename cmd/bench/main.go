@@ -9,6 +9,11 @@
 //
 //	go run ./cmd/bench                      # appends to BENCH_solver.json
 //	go run ./cmd/bench -out - -reps 5       # print one entry to stdout, 5 reps
+//	go run ./cmd/bench -cpuprofile cpu.out  # profile the measured hot paths
+//	go run ./cmd/bench -out - -against BENCH_solver.json -regress-factor 1.5
+//	                                        # CI gate: fail on a Transformer
+//	                                        # solve regression vs the latest
+//	                                        # trajectory entry
 //
 // Measured families (minimum wall time over -reps runs):
 //
@@ -25,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"pase"
@@ -82,7 +88,19 @@ func measure(reps int, f func() error) (float64, error) {
 	return float64(best.Nanoseconds()), nil
 }
 
-func run(out string, reps, p int, notes string) error {
+// config carries the flag-derived run parameters.
+type config struct {
+	out           string
+	reps, p       int
+	notes         string
+	cpuProfile    string
+	memProfile    string
+	against       string
+	regressFactor float64
+}
+
+func run(cfg config) error {
+	out, reps, p := cfg.out, cfg.reps, cfg.p
 	rep := Report{
 		Schema:     "pase-bench/v1",
 		Date:       time.Now().UTC().Format(time.RFC3339),
@@ -90,13 +108,29 @@ func run(out string, reps, p int, notes string) error {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Notes:      notes,
+		Notes:      cfg.notes,
 	}
 
-	// Table I: full search (model build + solve) per paper benchmark.
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Table I: full search (model build + solve) per paper benchmark, with
+	// the config-space reduction stats (K before/after pruning) recorded
+	// alongside the timing so the trajectory shows what the DP actually
+	// iterated over.
 	for _, bm := range pase.Benchmarks() {
 		g := bm.Build(bm.Batch)
 		var states int64
+		var kFull, kEff, pruned int
 		ns, err := measure(reps, func() error {
 			m, err := pase.NewModel(g, pase.GTX1080Ti(p), bm.Policy(p))
 			if err != nil {
@@ -107,6 +141,7 @@ func run(out string, reps, p int, notes string) error {
 				return err
 			}
 			states = res.States
+			kFull, kEff, pruned = m.MaxK(), res.KEffective, res.PrunedConfigs
 			return nil
 		})
 		if err != nil {
@@ -116,7 +151,12 @@ func run(out string, reps, p int, notes string) error {
 			Name:    fmt.Sprintf("TableI_PaSE/%s/p=%d", bm.Name, p),
 			NsPerOp: ns,
 			Reps:    reps,
-			Extra:   map[string]float64{"states": float64(states)},
+			Extra: map[string]float64{
+				"states":         float64(states),
+				"k_full":         float64(kFull),
+				"k_effective":    float64(kEff),
+				"pruned_configs": float64(pruned),
+			},
 		})
 	}
 
@@ -171,6 +211,24 @@ func run(out string, reps, p int, notes string) error {
 		})
 	}
 
+	if cfg.memProfile != "" {
+		f, err := os.Create(cfg.memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+
+	if cfg.against != "" {
+		if err := regressionCheck(rep, cfg.against, cfg.regressFactor, p); err != nil {
+			return err
+		}
+	}
+
 	if out == "-" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -200,6 +258,78 @@ func run(out string, reps, p int, notes string) error {
 	return nil
 }
 
+// regressionCheck compares this run's Transformer Table I solve against the
+// -against trajectory and fails on a regression beyond the allowed factor —
+// the CI gate that keeps the serving-latency floor from silently eroding.
+// A missing file or benchmark is a skip (the gate cannot block a fresh
+// checkout), but an existing file that fails to parse is an error — a
+// corrupt BENCH_solver.json must not silently disable the gate. The
+// baseline is the latest entry from a matching environment (same GOOS and
+// GOMAXPROCS) when one exists; otherwise the latest entry overall, with a
+// cross-environment warning (the factor plus the CI retry absorb runner
+// differences).
+func regressionCheck(rep Report, against string, factor float64, p int) error {
+	name := fmt.Sprintf("TableI_PaSE/Transformer/p=%d", p)
+	if _, err := os.Stat(against); os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "bench: no trajectory at %s; skipping regression check\n", against)
+		return nil
+	}
+	traj, err := loadTrajectory(against)
+	if err != nil {
+		return fmt.Errorf("bench: -against %s: %w", against, err)
+	}
+	find := func(rs []Result) (float64, bool) {
+		for _, r := range rs {
+			if r.Name == name {
+				return r.NsPerOp, true
+			}
+		}
+		return 0, false
+	}
+	// Latest entry that measured this benchmark (older entries may have run
+	// at a different -p), preferring one recorded in this environment.
+	pick := func(matchEnv bool) (float64, string, bool) {
+		for i := len(traj.Entries) - 1; i >= 0; i-- {
+			e := traj.Entries[i]
+			if matchEnv && (e.GOOS != rep.GOOS || e.GOMAXPROCS != rep.GOMAXPROCS) {
+				continue
+			}
+			if ns, ok := find(e.Results); ok {
+				return ns, e.Date, true
+			}
+		}
+		return 0, "", false
+	}
+	base, baseDate, ok := pick(true)
+	if !ok {
+		if base, baseDate, ok = pick(false); ok {
+			// Cross-environment comparison: wall times from a different
+			// machine class carry a systematic offset, not just noise, so
+			// the allowed factor is doubled — the gate still catches a
+			// reverted multiplicative speedup without failing every run on
+			// a slower runner generation.
+			factor *= 2
+			fmt.Fprintf(os.Stderr, "bench: no %s/GOMAXPROCS=%d trajectory entry; comparing across environments (%s entry, limit relaxed to %.2fx)\n",
+				rep.GOOS, rep.GOMAXPROCS, baseDate, factor)
+		}
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bench: %s not in any %s entry; skipping regression check\n", name, against)
+		return nil
+	}
+	cur, ok := find(rep.Results)
+	if !ok {
+		return fmt.Errorf("bench: this run did not measure %s", name)
+	}
+	ratio := cur / base
+	fmt.Fprintf(os.Stderr, "bench: %s %.0f ns vs %.0f ns (%s entry): %.2fx (limit %.2fx)\n",
+		name, cur, base, baseDate, ratio, factor)
+	if ratio > factor {
+		return fmt.Errorf("bench: %s regressed %.2fx over the %s trajectory entry (limit %.2fx)", name, ratio, baseDate, factor)
+	}
+	return nil
+}
+
 // loadTrajectory reads the output file's existing history. A missing file
 // starts an empty trajectory; a pre-trajectory single-report file (the
 // original pase-bench/v1 layout) is migrated as the first entry.
@@ -224,17 +354,25 @@ func loadTrajectory(path string) (Trajectory, error) {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_solver.json", "output path, or - for stdout")
-		reps  = flag.Int("reps", 3, "repetitions per benchmark (minimum is reported)")
-		p     = flag.Int("p", 32, "device count for the Table I solves")
-		notes = flag.String("notes", "", "free-form context embedded in the report")
+		out        = flag.String("out", "BENCH_solver.json", "output path, or - for stdout")
+		reps       = flag.Int("reps", 3, "repetitions per benchmark (minimum is reported)")
+		p          = flag.Int("p", 32, "device count for the Table I solves")
+		notes      = flag.String("notes", "", "free-form context embedded in the report")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering the measured benchmarks to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the measured benchmarks to this file")
+		against    = flag.String("against", "", "trajectory file whose latest Transformer entry gates this run (see -regress-factor)")
+		regress    = flag.Float64("regress-factor", 1.5, "with -against: fail when the Transformer solve is more than this many times slower")
 	)
 	flag.Parse()
 	if *reps < 1 {
 		fmt.Fprintln(os.Stderr, "bench: -reps must be >= 1")
 		os.Exit(2)
 	}
-	if err := run(*out, *reps, *p, *notes); err != nil {
+	if err := run(config{
+		out: *out, reps: *reps, p: *p, notes: *notes,
+		cpuProfile: *cpuprofile, memProfile: *memprofile,
+		against: *against, regressFactor: *regress,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}

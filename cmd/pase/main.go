@@ -52,8 +52,9 @@ func run(model string, gpus int, mach string, compare bool, exportPath string) e
 	}
 
 	fmt.Printf("%s on %d × %s (batch %d)\n", bm.Name, gpus, spec.Name, bm.Batch)
-	fmt.Printf("search time: %s (model %s)   cost: %.4g s/step   M=%d   states=%d\n\n",
+	fmt.Printf("search time: %s (model %s)   cost: %.4g s/step   M=%d   states=%d\n",
 		report.Duration(res.SearchTime), report.Duration(res.ModelTime), res.Cost, res.MaxDepSize, res.States)
+	fmt.Printf("config space: K-effective=%d (%d configs pruned)\n\n", res.KEffective, res.PrunedConfigs)
 
 	tb := &report.Table{
 		Title:  fmt.Sprintf("Best strategy (paper Table II layout, p=%d)", gpus),
@@ -85,6 +86,8 @@ func run(model string, gpus int, mach string, compare bool, exportPath string) e
 			return err
 		}
 		doc.Fingerprint = res.Fingerprint
+		doc.PrunedConfigs = res.PrunedConfigs
+		doc.KEffective = res.KEffective
 		f, err := os.Create(exportPath)
 		if err != nil {
 			return err

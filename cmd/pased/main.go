@@ -21,7 +21,13 @@
 //	                   cache, and fingerprint metadata.
 //	POST /v1/batch   — solve many requests concurrently; per-item errors.
 //	GET  /v1/healthz — liveness.
-//	GET  /v1/stats   — planner cache/dedup counters and server counters.
+//	GET  /v1/stats   — planner cache/dedup/pruning counters and server
+//	                   counters.
+//
+// -debug-addr mounts net/http/pprof on a separate localhost listener so
+// production hot-path regressions are diagnosable without exposing profiles
+// on the API port; -prune-epsilon sets the daemon-wide default for
+// epsilon-dominance config pruning (requests can override it per call).
 package main
 
 import (
@@ -31,7 +37,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only via -debug-addr
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -67,6 +75,11 @@ type solveOptions struct {
 	MaxTableEntries   int64 `json:"max_table_entries,omitempty"`
 	BreadthFirst      bool  `json:"breadth_first,omitempty"`
 	Workers           int   `json:"workers,omitempty"`
+	// PruneEpsilon enables epsilon-dominance config pruning for this
+	// request: the returned strategy's cost is within (1+ε)² of optimal.
+	// Omitted uses the daemon's -prune-epsilon default; an explicit 0
+	// forces the exact solve even when the daemon default is aggressive.
+	PruneEpsilon *float64 `json:"prune_epsilon,omitempty"`
 }
 
 // solveResponse is the wire form of one solved strategy.
@@ -81,6 +94,11 @@ type solveResponse struct {
 	Fingerprint string                 `json:"fingerprint"`
 	States      int64                  `json:"states"`
 	MaxDepSize  int                    `json:"max_dep_size"`
+	// PrunedConfigs / KEffective report the config-space reduction behind
+	// this solve: configurations dominance pruning removed, and the largest
+	// per-vertex configuration count the DP iterated over.
+	PrunedConfigs int `json:"pruned_configs"`
+	KEffective    int `json:"k_effective"`
 }
 
 type batchRequest struct {
@@ -187,6 +205,17 @@ func (s *server) toRequest(sr solveRequest) (pase.SolveRequest, string, error) {
 		if o.MaxSplitDims < 0 {
 			return pase.SolveRequest{}, "", fmt.Errorf("max_split_dims %d must be >= 0", o.MaxSplitDims)
 		}
+		if o.PruneEpsilon != nil {
+			if *o.PruneEpsilon < 0 || *o.PruneEpsilon > maxPruneEpsilon {
+				return pase.SolveRequest{}, "", fmt.Errorf("prune_epsilon %g out of range [0, %g]", *o.PruneEpsilon, maxPruneEpsilon)
+			}
+			// An explicit wire zero means "exact, no matter the daemon
+			// default" — the planner's negative-epsilon opt-out.
+			opts.PruneEpsilon = *o.PruneEpsilon
+			if opts.PruneEpsilon == 0 {
+				opts.PruneEpsilon = -1
+			}
+		}
 		if o.MaxSplitDims > 0 || o.RequireFullDegree {
 			opts.Policy = pase.EnumPolicy{MaxSplitDims: o.MaxSplitDims, RequireFullDegree: o.RequireFullDegree}
 		}
@@ -204,15 +233,19 @@ func toResponse(req pase.SolveRequest, model string, res *pase.Result) (*solveRe
 		return nil, err
 	}
 	doc.Fingerprint = res.Fingerprint
+	doc.PrunedConfigs = res.PrunedConfigs
+	doc.KEffective = res.KEffective
 	return &solveResponse{
-		Strategy:    doc,
-		CostSeconds: res.Cost,
-		SearchMs:    float64(res.SearchTime.Nanoseconds()) / 1e6,
-		ModelMs:     float64(res.ModelTime.Nanoseconds()) / 1e6,
-		Cached:      res.Cached,
-		Fingerprint: res.Fingerprint,
-		States:      res.States,
-		MaxDepSize:  res.MaxDepSize,
+		Strategy:      doc,
+		CostSeconds:   res.Cost,
+		SearchMs:      float64(res.SearchTime.Nanoseconds()) / 1e6,
+		ModelMs:       float64(res.ModelTime.Nanoseconds()) / 1e6,
+		Cached:        res.Cached,
+		Fingerprint:   res.Fingerprint,
+		States:        res.States,
+		MaxDepSize:    res.MaxDepSize,
+		PrunedConfigs: res.PrunedConfigs,
+		KEffective:    res.KEffective,
 	}, nil
 }
 
@@ -225,6 +258,10 @@ const (
 	// of entries; the ErrOOM → 422 path exists precisely because some
 	// (model, ordering) pairs need unbounded memory.
 	maxTableEntriesCap = int64(1) << 27
+	// maxPruneEpsilon caps the wire-supplied epsilon: beyond 100% relative
+	// slack the "strategy" degenerates and cache entries multiply for no
+	// plausible use.
+	maxPruneEpsilon = 1.0
 )
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -297,6 +334,24 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, batchResponse{Results: entries})
 }
 
+// requireLoopback rejects debug-listener addresses that would bind beyond
+// localhost (":6060", "0.0.0.0:6060", a public IP, a hostname other than
+// localhost).
+func requireLoopback(addr string) error {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("invalid address %q: %w", addr, err)
+	}
+	if host == "localhost" {
+		return nil
+	}
+	ip := net.ParseIP(host)
+	if ip == nil || !ip.IsLoopback() {
+		return fmt.Errorf("%q is not a loopback address; the pprof listener serves heap and goroutine dumps and must stay on localhost", addr)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", ":8555", "listen address")
@@ -304,13 +359,35 @@ func main() {
 		resultCache = flag.Int("result-cache", 256, "solved-result LRU capacity")
 		workers     = flag.Int("batch-workers", 0, "batch fan-out workers (0 = GOMAXPROCS)")
 		maxGPUs     = flag.Int("max-gpus", 128, "largest accepted device count (cost-model tables grow with p; raise deliberately)")
+		pruneEps    = flag.Float64("prune-epsilon", 0, "default epsilon-dominance config pruning for requests that leave it unset (0 = exact dedup only)")
+		debugAddr   = flag.String("debug-addr", "", "optional localhost listen address serving net/http/pprof (e.g. 127.0.0.1:6060); off when empty")
 	)
 	flag.Parse()
+	if *pruneEps < 0 || *pruneEps > maxPruneEpsilon {
+		log.Fatalf("pased: -prune-epsilon %g out of range [0, %g]", *pruneEps, maxPruneEpsilon)
+	}
+
+	if *debugAddr != "" {
+		// net/http/pprof registers its handlers on http.DefaultServeMux;
+		// serving that mux on a separate opt-in listener keeps profiling off
+		// the public API port. Loopback only: heap dumps and goroutine
+		// stacks must not be one mistyped flag away from the network.
+		if err := requireLoopback(*debugAddr); err != nil {
+			log.Fatalf("pased: -debug-addr: %v", err)
+		}
+		go func() {
+			log.Printf("pased: pprof debug listener on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("pased: debug listener: %v", err)
+			}
+		}()
+	}
 
 	pl := pase.NewPlanner(pase.PlannerConfig{
-		ModelCacheSize:  *modelCache,
-		ResultCacheSize: *resultCache,
-		BatchWorkers:    *workers,
+		ModelCacheSize:      *modelCache,
+		ResultCacheSize:     *resultCache,
+		BatchWorkers:        *workers,
+		DefaultPruneEpsilon: *pruneEps,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

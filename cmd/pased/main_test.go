@@ -79,6 +79,14 @@ func TestSolveRoundTripAndCache(t *testing.T) {
 	if doc["fingerprint"] == "" || doc["fingerprint"] != first["fingerprint"] {
 		t.Fatalf("fingerprint missing or inconsistent: %v vs %v", doc["fingerprint"], first["fingerprint"])
 	}
+	// Config-space reduction stats ride along on the wire (AlexNet p=8 is a
+	// shape where exact dedup fires).
+	if ke, ok := first["k_effective"].(float64); !ok || ke <= 0 {
+		t.Fatalf("k_effective missing or non-positive: %v", first["k_effective"])
+	}
+	if pc, ok := first["pruned_configs"].(float64); !ok || pc <= 0 {
+		t.Fatalf("pruned_configs missing or non-positive: %v", first["pruned_configs"])
+	}
 
 	status, second := postJSON(t, ts.URL+"/v1/solve", req)
 	if status != http.StatusOK || second["cached"] != true {
@@ -99,6 +107,9 @@ func TestSolveValidation(t *testing.T) {
 		`{"model":"alexnet","gpus":4096}`:               http.StatusBadRequest,
 		`{"model":"alexnet","gpus":8,"machine":"v100"}`: http.StatusBadRequest,
 		`not json`: http.StatusBadRequest,
+		`{"model":"alexnet","gpus":8,"options":{"prune_epsilon":-0.1}}`:    http.StatusBadRequest,
+		`{"model":"alexnet","gpus":8,"options":{"prune_epsilon":2}}`:       http.StatusBadRequest,
+		`{"model":"alexnet","gpus":8,"options":{"prune_epsilon":0.05}}`:    http.StatusOK,
 		`{"model":"alexnet","gpus":8,"machine":"uniform:4:1e12:1e10:5e9"}`: http.StatusOK,
 	} {
 		status, out := postJSON(t, ts.URL+"/v1/solve", body)
@@ -251,5 +262,24 @@ func TestSolveOptionBounds(t *testing.T) {
 		`{"model":"alexnet","gpus":8,"options":{"workers":2,"max_table_entries":1048576}}`)
 	if status != http.StatusOK {
 		t.Fatalf("bounded options rejected: %d %v", status, out)
+	}
+}
+
+func TestExplicitZeroEpsilonOverridesDaemonDefault(t *testing.T) {
+	aggr := httptest.NewServer(newServer(pase.NewPlanner(pase.PlannerConfig{DefaultPruneEpsilon: 0.2}), 64).mux())
+	defer aggr.Close()
+	exact := httptest.NewServer(newServer(pase.NewPlanner(pase.PlannerConfig{}), 64).mux())
+	defer exact.Close()
+
+	_, def := postJSON(t, aggr.URL+"/v1/solve", `{"model":"alexnet","gpus":8}`)
+	_, forced := postJSON(t, aggr.URL+"/v1/solve", `{"model":"alexnet","gpus":8,"options":{"prune_epsilon":0}}`)
+	_, ref := postJSON(t, exact.URL+"/v1/solve", `{"model":"alexnet","gpus":8}`)
+
+	if def["fingerprint"] == forced["fingerprint"] {
+		t.Fatal("explicit prune_epsilon:0 did not override the daemon default")
+	}
+	if forced["fingerprint"] != ref["fingerprint"] {
+		t.Fatalf("forced-exact fingerprint %v differs from an exact daemon's %v",
+			forced["fingerprint"], ref["fingerprint"])
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"pase"
 	"pase/internal/report"
@@ -47,17 +48,21 @@ func main() {
 
 	tb := &report.Table{
 		Title: fmt.Sprintf("%s: simulated speedup of PaSE over data parallelism", bm.Name),
-		Header: []string{"p", "1080Ti step (ms)", "1080Ti speedup",
+		Header: []string{"p", "K-eff", "1080Ti step (ms)", "1080Ti speedup",
 			"2080Ti step (ms)", "2080Ti speedup"},
 	}
 	for pi, p := range ps {
-		row := []any{p}
+		var vals []any
+		var kEffs []string
 		for mi := range makers {
 			item := items[pi*len(makers)+mi]
 			if item.Err != nil {
 				log.Fatal(item.Err)
 			}
 			res, spec := item.Result, reqs[pi*len(makers)+mi].Spec
+			// Dedup compares machine-priced cost signatures, so K-effective
+			// can differ between the two GPU generations at the same p.
+			kEffs = append(kEffs, fmt.Sprintf("%d", res.KEffective))
 			dp := pase.DataParallelStrategy(g, p)
 			step, err := pase.Simulate(g, res.Strategy, spec, bm.Batch)
 			if err != nil {
@@ -67,9 +72,16 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			row = append(row, fmt.Sprintf("%.2f", step.StepSeconds*1e3), fmt.Sprintf("%.2fx", sp))
+			vals = append(vals, fmt.Sprintf("%.2f", step.StepSeconds*1e3), fmt.Sprintf("%.2fx", sp))
 		}
-		tb.Add(row...)
+		kEff := kEffs[0]
+		for _, k := range kEffs[1:] {
+			if k != kEff {
+				kEff = strings.Join(kEffs, "/") // per-machine values differ
+				break
+			}
+		}
+		tb.Add(append([]any{p, kEff}, vals...)...)
 	}
 	if err := tb.Render(os.Stdout); err != nil {
 		log.Fatal(err)

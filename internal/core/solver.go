@@ -82,8 +82,20 @@ type Stats struct {
 	// once their last reader's fill completes, so this — not TotalEntries —
 	// is what the memory budget bounds.
 	PeakLiveEntries int64
-	// States is the number of (φ, C) combinations evaluated.
+	// States is the number of table-cell evaluations the fill performed:
+	// (φ, C) combinations actually scanned, plus — for vertices where the
+	// factored kernel applies — one combine per table entry whose scan was
+	// shared with other entries.
 	States int64
+	// PrunedConfigs is how many candidate configurations the model's
+	// config-space reduction removed before the DP ran (cost.Model dedup +
+	// optional epsilon dominance); every one is a multiplicative saving in
+	// the K^|dependent set| table sizes above.
+	PrunedConfigs int
+	// KEffective is the largest per-vertex configuration count the DP
+	// iterated over — the model's post-pruning K (the paper's K is the
+	// pre-pruning maximum).
+	KEffective int
 }
 
 // Result is a solved strategy.
@@ -116,11 +128,20 @@ func NaiveBF(m *cost.Model, opts Options) (*Result, error) {
 // subsetRef describes how to compute the flat table index of one connected
 // subset's representative vertex v(j) from the current (φ, C) digits. The
 // index splits into a φ-only base (constant while the solver scans v(i)'s
-// own configurations) plus C times vStride, so the scan over C is one
-// multiply-add per lookup.
+// own configurations) plus C times vStride.
+//
+// DP tables are laid out first-member-fastest: the member of D(j) with the
+// SMALLEST position gets stride 1. Every member of D(j) other than v(i) lies
+// in D(i), whose positions all exceed i, so whenever v(i) ∈ D(j) it is the
+// smallest-position member — and there is at most one such reader position
+// for each table. The flip therefore guarantees vStride ∈ {0, 1}: the scan
+// over v(i)'s own configurations reads a CONTIGUOUS row of v(j)'s table
+// (vStride 1), or a single φ-only cell hoisted out of the scan entirely
+// (vStride 0). This is what makes the fill a flat strided kernel instead of
+// a gather over cache-hostile K²-sized strides.
 type subsetRef struct {
 	pos     int   // position j of the subset's last vertex
-	vStride int64 // stride of v(i)'s own configuration within v(j)'s table (0 when v(i) ∉ D(j))
+	vStride int64 // stride of v(i)'s own configuration within v(j)'s table: 1, or 0 when v(i) ∉ D(j)
 	// For the members of D(j) other than v(i): which φ digit supplies their
 	// configuration and its mixed-radix stride within v(j)'s table.
 	phiDigit  []int
@@ -144,6 +165,8 @@ func Solve(m *cost.Model, sq *seq.Sequence, opts Options) (*Result, error) {
 	nw := opts.workers()
 	var st Stats
 	st.MaxDepSize = sq.MaxDepSize()
+	st.PrunedConfigs = m.PrunedConfigs()
+	st.KEffective = m.MaxKEffective()
 
 	tbl := make([][]float64, n)  // per position; freed at last reader
 	choice := make([][]int32, n) // argmin config per (position, φ); kept for back-substitution
@@ -212,7 +235,11 @@ func Solve(m *cost.Model, sq *seq.Sequence, opts Options) (*Result, error) {
 			st.PeakLiveEntries = live
 		}
 
-		// Connected subsets S(i) and their lookup wiring.
+		// Connected subsets S(i) and their lookup wiring. Tables are laid
+		// out first-member-fastest (see subsetRef), so vStride is 1 when
+		// v ∈ D(j) and 0 otherwise; the refs are split accordingly into
+		// row refs (contiguous kv-long reads per φ) and cell refs (one
+		// φ-only read per φ, hoisted out of the configuration scan).
 		subs := subsets[i]
 		refs := make([]subsetRef, len(subs))
 		for si, sub := range subs {
@@ -220,7 +247,7 @@ func Solve(m *cost.Model, sq *seq.Sequence, opts Options) (*Result, error) {
 			dj := sq.Dep[jPos]
 			r := subsetRef{pos: jPos}
 			stride := int64(1)
-			for k := len(dj) - 1; k >= 0; k-- {
+			for k := 0; k < len(dj); k++ {
 				if dj[k] == v {
 					r.vStride = stride
 				} else {
@@ -233,11 +260,10 @@ func Solve(m *cost.Model, sq *seq.Sequence, opts Options) (*Result, error) {
 				}
 				stride *= int64(m.K(dj[k]))
 			}
+			if r.vStride > 1 {
+				return nil, fmt.Errorf("core: v(%d) is not the first member of D(%d): first-member-fastest layout violated", i, jPos)
+			}
 			refs[si] = r
-		}
-		rStride := make([]int64, len(refs))
-		for ri := range refs {
-			rStride[ri] = refs[ri].vStride
 		}
 
 		// Incident edges to later vertices; those endpoints are all in D(i).
@@ -272,85 +298,243 @@ func Solve(m *cost.Model, sq *seq.Sequence, opts Options) (*Result, error) {
 		t := make([]float64, tblSize)
 		ch := make([]int32, tblSize)
 
-		// fill computes RV(i, φ) for the flat-index range [lo, hi). Ranges
-		// are disjoint and all shared state (tl, edge tables, earlier
-		// vertices' DP tables) is read-only, so chunks run in parallel with
-		// byte-identical results at any worker count. Per φ it slices each
-		// edge table to its kv-long row and folds the φ digits into one base
-		// index per subset, so the scan over v's configurations is pure
-		// slice reads and multiply-adds.
-		fill := func(lo, hi int64) {
-			digits := make([]int, len(dep))
-			erow := make([][]float64, len(erefs))
-			rbase := make([]int64, len(refs))
-			rtbl := make([][]float64, len(refs))
-			for ri := range refs {
-				rtbl[ri] = tbl[refs[ri].pos]
+		// Flat strided kernel wiring. rowRefs are the subsets containing v:
+		// their lookups form a contiguous kv-long row per φ (vStride 1).
+		// cellRefs are φ-only subsets: one cell per φ, independent of the
+		// configuration scanned, so they never enter the scan at all.
+		// refDigRow/refDigCell/edgeDig list, per φ digit, which subset bases
+		// and edge-row offsets that digit's stride moves — the odometer then
+		// updates only what a digit change actually touches, instead of
+		// refolding every base and reslicing every row per entry.
+		var rowRefs, cellRefs []int
+		for ri := range refs {
+			if refs[ri].vStride == 1 {
+				rowRefs = append(rowRefs, ri)
+			} else {
+				cellRefs = append(cellRefs, ri)
 			}
+		}
+		isRow := make([]bool, len(refs))
+		for _, ri := range rowRefs {
+			isRow[ri] = true
+		}
+		type digUpd struct {
+			ri     int
+			stride int64
+		}
+		refDigRow := make([][]digUpd, len(dep))
+		refDigCell := make([][]digUpd, len(dep))
+		for ri := range refs {
+			r := &refs[ri]
+			for k, dg := range r.phiDigit {
+				if isRow[ri] {
+					refDigRow[dg] = append(refDigRow[dg], digUpd{ri, r.phiStride[k]})
+				} else {
+					refDigCell[dg] = append(refDigCell[dg], digUpd{ri, r.phiStride[k]})
+				}
+			}
+		}
+		edgeDig := make([][]int, len(dep))
+		for li := range erefs {
+			edgeDig[erefs[li].digit] = append(edgeDig[erefs[li].digit], li)
+		}
+		rtbl := make([][]float64, len(refs))
+		for ri := range refs {
+			rtbl[ri] = tbl[refs[ri].pos]
+		}
+
+		// Factorization: the minimizing configuration depends only on the φ
+		// digits the edge rows and v-containing subsets read — cellRefs add
+		// a per-φ constant, which never changes the argmin. When those
+		// "scan digits" span fewer than all of D(i), the kv-wide scan runs
+		// once per scan-digit combination (subSize of them) into a minf/argc
+		// side table, and the full table fill collapses to one gather plus
+		// the φ-only cell sum per entry: subSize·kv + tblSize states instead
+		// of tblSize·kv.
+		used := make([]bool, len(dep))
+		for li := range erefs {
+			used[erefs[li].digit] = true
+		}
+		for _, ri := range rowRefs {
+			for _, dg := range refs[ri].phiDigit {
+				used[dg] = true
+			}
+		}
+		subSize := int64(1)
+		subStride := make([]int64, len(dep)) // 0 for digits the scan ignores
+		for k := range dep {
+			if used[k] {
+				subStride[k] = subSize
+				subSize *= int64(kd[k])
+			}
+		}
+		factored := subSize < tblSize
+
+		// rowPos maps a v-containing subset ref to its slot in the merged
+		// rows array: slots [0, nE) are the hoisted TX rows of the incident
+		// edges, slots [nE, nRows) the contiguous DP-table rows. Every slot is
+		// a kv-long slice indexed by the scanned configuration; slices are
+		// refreshed only when a digit they stride through changes.
+		nE := len(erefs)
+		nRows := nE + len(rowRefs)
+		rowPos := make([]int, len(refs))
+		for rj, ri := range rowRefs {
+			rowPos[ri] = nE + rj
+		}
+
+		// fillScan computes min_C over the masked odometer range [lo, hi):
+		// the layer cost row, the hoisted TX row per incident edge, and the
+		// contiguous kv-long row of each v-containing subset, folded with a
+		// running minimum (branch-free unconditional sums for the common
+		// 1-4-row shapes, early-exit folding for wide hubs). In factored mode
+		// it fills the minf side table over the scan digits; otherwise it
+		// writes the DP table directly, adding the φ-only cell sum. Ranges are
+		// disjoint and all shared state is read-only, so chunks run in
+		// parallel with byte-identical results at any worker count.
+		fillScan := func(lo, hi int64, mask []bool, outT []float64, outC []int32, withCells bool) {
+			digits := make([]int, len(dep))
+			rbase := make([]int64, len(refs))
+			rows := make([][]float64, nRows)
+			eoff := make([]int, len(erefs))
+			// Position the incremental state at flat index lo of the masked
+			// odometer (first digit fastest).
 			rem := lo
-			for k := len(dep) - 1; k >= 0; k-- {
+			for k := 0; k < len(dep); k++ {
+				if mask != nil && !mask[k] {
+					continue
+				}
 				digits[k] = int(rem % int64(kd[k]))
 				rem /= int64(kd[k])
 			}
-			for flat := lo; flat < hi; flat++ {
-				for li := range erefs {
-					er := &erefs[li]
-					o := digits[er.digit] * kv
-					erow[li] = er.vals[o : o+kv]
+			for ri := range refs {
+				r := &refs[ri]
+				b := int64(0)
+				for k, dg := range r.phiDigit {
+					b += int64(digits[dg]) * r.phiStride[k]
 				}
-				for ri := range refs {
-					r := &refs[ri]
-					b := int64(0)
-					for k, dg := range r.phiDigit {
-						b += int64(digits[dg]) * r.phiStride[k]
+				rbase[ri] = b
+			}
+			for li := range erefs {
+				o := digits[erefs[li].digit] * kv
+				eoff[li] = o
+				rows[li] = erefs[li].vals[o : o+kv]
+			}
+			for _, ri := range rowRefs {
+				rows[rowPos[ri]] = rtbl[ri][rbase[ri] : rbase[ri]+int64(kv)]
+			}
+			for flat := lo; flat < hi; flat++ {
+				cbase := 0.0
+				if withCells {
+					for _, ri := range cellRefs {
+						cbase += rtbl[ri][rbase[ri]]
 					}
-					rbase[ri] = b
 				}
 				best := math.Inf(1)
 				bestC := int32(0)
-				for c := 0; c < kv; c++ {
-					cst := tlv[c]
-					for li := range erow {
-						cst += erow[li][c]
-						if cst >= best {
-							break
+				switch nRows {
+				case 1:
+					r0 := rows[0]
+					for c := 0; c < kv; c++ {
+						if cst := tlv[c] + r0[c]; cst < best {
+							best = cst
+							bestC = int32(c)
 						}
 					}
-					if cst < best {
-						for ri := range rtbl {
-							cst += rtbl[ri][rbase[ri]+int64(c)*rStride[ri]]
+				case 2:
+					r0, r1 := rows[0], rows[1]
+					for c := 0; c < kv; c++ {
+						if cst := tlv[c] + r0[c] + r1[c]; cst < best {
+							best = cst
+							bestC = int32(c)
+						}
+					}
+				case 3:
+					r0, r1, r2 := rows[0], rows[1], rows[2]
+					for c := 0; c < kv; c++ {
+						if cst := tlv[c] + r0[c] + r1[c] + r2[c]; cst < best {
+							best = cst
+							bestC = int32(c)
+						}
+					}
+				case 4:
+					r0, r1, r2, r3 := rows[0], rows[1], rows[2], rows[3]
+					for c := 0; c < kv; c++ {
+						if cst := tlv[c] + r0[c] + r1[c] + r2[c] + r3[c]; cst < best {
+							best = cst
+							bestC = int32(c)
+						}
+					}
+				default: // 0 rows, or wide hubs: early-exit folding
+					for c := 0; c < kv; c++ {
+						cst := tlv[c]
+						for _, r := range rows {
+							cst += r[c]
 							if cst >= best {
 								break
 							}
 						}
-					}
-					if cst < best {
-						best = cst
-						bestC = int32(c)
+						if cst < best {
+							best = cst
+							bestC = int32(c)
+						}
 					}
 				}
-				t[flat] = best
-				ch[flat] = bestC
+				outT[flat] = cbase + best
+				outC[flat] = bestC
 
-				// Odometer increment (last digit fastest).
-				for k := len(digits) - 1; k >= 0; k-- {
+				// Masked odometer increment (first digit fastest), updating
+				// only the bases and rows the changed digit strides through.
+				for k := 0; k < len(dep); k++ {
+					if mask != nil && !mask[k] {
+						continue
+					}
 					digits[k]++
 					if digits[k] < kd[k] {
+						for _, u := range refDigRow[k] {
+							rbase[u.ri] += u.stride
+							rows[rowPos[u.ri]] = rtbl[u.ri][rbase[u.ri] : rbase[u.ri]+int64(kv)]
+						}
+						if withCells {
+							for _, u := range refDigCell[k] {
+								rbase[u.ri] += u.stride
+							}
+						}
+						for _, li := range edgeDig[k] {
+							eoff[li] += kv
+							rows[li] = erefs[li].vals[eoff[li] : eoff[li]+kv]
+						}
 						break
 					}
 					digits[k] = 0
+					for _, u := range refDigRow[k] {
+						rbase[u.ri] -= int64(kd[k]-1) * u.stride
+						rows[rowPos[u.ri]] = rtbl[u.ri][rbase[u.ri] : rbase[u.ri]+int64(kv)]
+					}
+					if withCells {
+						for _, u := range refDigCell[k] {
+							rbase[u.ri] -= int64(kd[k]-1) * u.stride
+						}
+					}
+					for _, li := range edgeDig[k] {
+						eoff[li] = 0
+						rows[li] = erefs[li].vals[0:kv]
+					}
 				}
 			}
 		}
 
-		if nw > 1 && tblSize >= parallelThreshold {
+		parChunk := func(total int64, f func(lo, hi int64)) {
+			if nw <= 1 || total < parallelThreshold {
+				f(0, total)
+				return
+			}
 			var wg sync.WaitGroup
-			chunk := (tblSize + int64(nw) - 1) / int64(nw)
+			chunk := (total + int64(nw) - 1) / int64(nw)
 			for w := 0; w < nw; w++ {
 				lo := int64(w) * chunk
 				hi := lo + chunk
-				if hi > tblSize {
-					hi = tblSize
+				if hi > total {
+					hi = total
 				}
 				if lo >= hi {
 					break
@@ -358,14 +542,84 @@ func Solve(m *cost.Model, sq *seq.Sequence, opts Options) (*Result, error) {
 				wg.Add(1)
 				go func(lo, hi int64) {
 					defer wg.Done()
-					fill(lo, hi)
+					f(lo, hi)
 				}(lo, hi)
 			}
 			wg.Wait()
-		} else {
-			fill(0, tblSize)
 		}
-		st.States += tblSize * int64(kv)
+
+		if factored {
+			// Phase A: one scan per combination of the digits the scan
+			// reads. The side table is transient — live only during this
+			// vertex's fills — but it is real memory, so it is charged
+			// against the budget like any other cost+choice table.
+			liveUnits += 3 * subSize
+			if liveUnits > budgetUnits {
+				return nil, fmt.Errorf("%w: live tables at vertex %d exceed %d entries", ErrOOM, v, budget)
+			}
+			if live := (liveUnits + 2) / 3; live > st.PeakLiveEntries {
+				st.PeakLiveEntries = live
+			}
+			minf := make([]float64, subSize)
+			argc := make([]int32, subSize)
+			parChunk(subSize, func(lo, hi int64) {
+				fillScan(lo, hi, used, minf, argc, false)
+			})
+			// Phase B: broadcast the scan results over the ignored digits,
+			// adding the φ-only cell lookups.
+			parChunk(tblSize, func(lo, hi int64) {
+				digits := make([]int, len(dep))
+				rbase := make([]int64, len(refs))
+				rem := lo
+				subFlat := int64(0)
+				for k := 0; k < len(dep); k++ {
+					digits[k] = int(rem % int64(kd[k]))
+					rem /= int64(kd[k])
+					subFlat += int64(digits[k]) * subStride[k]
+				}
+				for ri := range refs {
+					if isRow[ri] {
+						continue
+					}
+					r := &refs[ri]
+					b := int64(0)
+					for k, dg := range r.phiDigit {
+						b += int64(digits[dg]) * r.phiStride[k]
+					}
+					rbase[ri] = b
+				}
+				for flat := lo; flat < hi; flat++ {
+					cbase := 0.0
+					for _, ri := range cellRefs {
+						cbase += rtbl[ri][rbase[ri]]
+					}
+					t[flat] = cbase + minf[subFlat]
+					ch[flat] = argc[subFlat]
+					for k := 0; k < len(dep); k++ {
+						digits[k]++
+						if digits[k] < kd[k] {
+							for _, u := range refDigCell[k] {
+								rbase[u.ri] += u.stride
+							}
+							subFlat += subStride[k]
+							break
+						}
+						digits[k] = 0
+						for _, u := range refDigCell[k] {
+							rbase[u.ri] -= int64(kd[k]-1) * u.stride
+						}
+						subFlat -= int64(kd[k]-1) * subStride[k]
+					}
+				}
+			})
+			liveUnits -= 3 * subSize // minf/argc die with the fills
+			st.States += subSize*int64(kv) + tblSize
+		} else {
+			parChunk(tblSize, func(lo, hi int64) {
+				fillScan(lo, hi, nil, t, ch, true)
+			})
+			st.States += tblSize * int64(kv)
+		}
 		tbl[i] = t
 		choice[i] = ch
 		if i == n-1 {
@@ -392,7 +646,7 @@ func Solve(m *cost.Model, sq *seq.Sequence, opts Options) (*Result, error) {
 		dj := sq.Dep[pos]
 		flat := int64(0)
 		stride := int64(1)
-		for k := len(dj) - 1; k >= 0; k-- {
+		for k := 0; k < len(dj); k++ { // first-member-fastest layout
 			if !assigned[dj[k]] {
 				return fmt.Errorf("core: back-substitution reached %d before its dependent %d", v, dj[k])
 			}

@@ -50,11 +50,18 @@ type Model struct {
 	BuildTime time.Duration
 
 	r    float64
-	cfgs [][]itspace.Config // per node
-	tl   [][]float64        // [node][cfgIdx], eager
-	tx   [][]float64        // [edge][cu*Kv+cv], eager
+	cfgs [][]itspace.Config // per node, post-pruning (the interned ID space)
+	tl   [][]float64        // [node][cfgID], eager
+	tx   [][]float64        // [edge][cu*Kv+cv], eager, interned IDs
 	txT  [][]float64        // [edge][cv*Ku+cu], transpose of tx
 	txKv []int              // row stride of tx: the consumer's config count
+
+	// Config-space reduction state (prune.go): the full enumeration before
+	// pruning, the full-index → interned-ID map, and how many configurations
+	// pruning removed. fullCfgs/repOf are nil when pruning is disabled.
+	fullCfgs [][]itspace.Config
+	repOf    [][]int32
+	pruned   int
 
 	edges   [][2]int
 	edgeIdx map[[2]int]int
@@ -96,8 +103,15 @@ func parallelFor(n int, f func(i int)) {
 
 // NewModel enumerates configurations and precomputes all layer and edge cost
 // tables for the graph on the given machine, parallelizing the per-node and
-// per-edge table builds across a worker pool.
+// per-edge table builds across a worker pool. Exact duplicate-signature
+// dedup (prune.go) runs by default; NewModelWith exposes the epsilon knob
+// and the pruning kill switch.
 func NewModel(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy) (*Model, error) {
+	return NewModelWith(g, spec, pol, BuildOptions{})
+}
+
+// NewModelWith is NewModel under explicit build options.
+func NewModelWith(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy, bo BuildOptions) (*Model, error) {
 	start := time.Now()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -196,6 +210,12 @@ func NewModel(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy) (*Model
 		m.tx[e] = tab
 		m.txT[e] = tabT
 	})
+	// Phase 3: config-space reduction (prune.go) — exact dedup always,
+	// epsilon dominance when requested — followed by table compaction onto
+	// the surviving interned IDs.
+	if !bo.DisablePruning {
+		m.pruneConfigs(bo.PruneEpsilon)
+	}
 	m.BuildTime = time.Since(start)
 	return m, nil
 }
@@ -206,14 +226,38 @@ func (m *Model) P() int { return m.Spec.Devices }
 // R returns the FLOP-to-byte ratio used by the model.
 func (m *Model) R() float64 { return m.r }
 
-// Configs returns the configuration list of node v (do not mutate).
+// Configs returns the (post-pruning) configuration list of node v: index i
+// is interned config ID i. Do not mutate.
 func (m *Model) Configs(v int) []itspace.Config { return m.cfgs[v] }
 
-// K returns the number of configurations of node v.
+// K returns the number of surviving configurations of node v — the size of
+// the interned ID space the DP iterates over.
 func (m *Model) K(v int) int { return len(m.cfgs[v]) }
 
-// MaxK returns the paper's K: the maximum configuration count over all nodes.
+// KFull returns the number of configurations node v enumerated before
+// config-space reduction.
+func (m *Model) KFull(v int) int {
+	if m.fullCfgs == nil {
+		return len(m.cfgs[v])
+	}
+	return len(m.fullCfgs[v])
+}
+
+// MaxK returns the paper's K: the maximum enumerated configuration count
+// over all nodes, before config-space reduction.
 func (m *Model) MaxK() int {
+	k := 0
+	for v := range m.cfgs {
+		if kv := m.KFull(v); kv > k {
+			k = kv
+		}
+	}
+	return k
+}
+
+// MaxKEffective returns the maximum surviving configuration count over all
+// nodes — the K the DP actually pays for.
+func (m *Model) MaxKEffective() int {
 	k := 0
 	for v := range m.cfgs {
 		if len(m.cfgs[v]) > k {
@@ -223,11 +267,26 @@ func (m *Model) MaxK() int {
 	return k
 }
 
-// IndexOf returns the index of cfg within node v's configuration list, or -1.
+// PrunedConfigs returns how many candidate configurations config-space
+// reduction removed across all nodes.
+func (m *Model) PrunedConfigs() int { return m.pruned }
+
+// IndexOf returns the interned config ID of cfg within node v, or -1. A
+// configuration removed by pruning resolves to the ID of its surviving
+// representative (identical costs under exact dedup; at least as good on
+// every signature entry, up to the epsilon slack, under dominance pruning).
 func (m *Model) IndexOf(v int, cfg itspace.Config) int {
-	for i, c := range m.cfgs[v] {
+	if m.fullCfgs == nil {
+		for i, c := range m.cfgs[v] {
+			if c.Equal(cfg) {
+				return i
+			}
+		}
+		return -1
+	}
+	for i, c := range m.fullCfgs[v] {
 		if c.Equal(cfg) {
-			return i
+			return int(m.repOf[v][i])
 		}
 	}
 	return -1

@@ -1,0 +1,252 @@
+package cost
+
+// Config-space reduction (DESIGN.md "Config-space reduction"): the DP's cost
+// is governed by K^|dependent set|, so removing candidate configurations is a
+// multiplicative speedup. Two reductions run at model-build time, after the
+// full TL/TX tables exist and before anything reads them:
+//
+//   - Exact dedup (always on): two configurations of a vertex whose cost
+//     signatures are identical — same TL and bit-identical TX rows against
+//     every neighbour's full configuration set — are interchangeable in every
+//     strategy, so only the first (in canonical enumeration order) survives.
+//     The DP breaks cost ties toward the lowest configuration index, which is
+//     exactly the first member of its signature class, so dedup preserves not
+//     just the optimal cost but the returned strategy byte for byte.
+//
+//   - Epsilon dominance (opt-in, PruneEpsilon > 0): configuration a dominates
+//     b when every signature entry of a is ≤ the corresponding entry of b
+//     plus eps·|entry|. Dropping dominated configurations can remove far more
+//     of the space, at the price of a bounded cost inflation: swapping each
+//     vertex's choice for its dominator inflates each layer term and each
+//     edge term by at most a (1+eps) factor per adjacent swap, so the found
+//     strategy costs at most (1+eps)² times the true optimum.
+//
+// Survivors are interned into dense per-vertex config IDs: the model's
+// public cfgs/tl/tx tables are compacted to survivors only, so the solver's
+// inner loops never see a pruned configuration.
+
+import (
+	"math"
+
+	"pase/internal/itspace"
+)
+
+// BuildOptions tunes model construction. The zero value is the default
+// build: exact duplicate-signature dedup on, no epsilon dominance.
+type BuildOptions struct {
+	// PruneEpsilon, when > 0, enables epsilon-dominance pruning: a
+	// configuration is dropped when an earlier-kept one is at least as good
+	// on every cost-signature entry up to a relative slack of PruneEpsilon.
+	// The returned strategy's cost is within (1+PruneEpsilon)² of optimal.
+	PruneEpsilon float64
+	// DisablePruning skips all config-space reduction, including the exact
+	// dedup that is otherwise always on. The unpruned model is the oracle
+	// the pruning property tests compare against.
+	DisablePruning bool
+}
+
+// sigVisit streams node v's cost signature entries for its ci-th
+// configuration, in a fixed order: the TL entry, then for each incident edge
+// the TX row of ci against the opposite endpoint's full configuration set
+// (both orientations for a self-loop, so signature-equal configurations also
+// agree on the diagonal entries the self-loop contributes to Eval).
+func (m *Model) sigVisit(v, ci int, f func(float64)) {
+	f(m.tl[v][ci])
+	for _, ie := range m.inc[v] {
+		kv := m.txKv[ie.E]
+		ku := len(m.cfgs[m.edges[ie.E][0]])
+		if ie.Self || ie.VIsU {
+			for _, x := range m.tx[ie.E][ci*kv : ci*kv+kv] {
+				f(x)
+			}
+		}
+		if ie.Self || !ie.VIsU {
+			for _, x := range m.txT[ie.E][ci*ku : ci*ku+ku] {
+				f(x)
+			}
+		}
+	}
+}
+
+// sigHash hashes the signature's float64 bit patterns (with -0 normalized
+// to 0, matching sigEqual's == semantics), one splitmix64-style mix per
+// value. Collisions only cost an extra sigEqual verification.
+func (m *Model) sigHash(v, ci int) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	m.sigVisit(v, ci, func(x float64) {
+		if x == 0 {
+			x = 0 // collapse -0 so hash matches == equality
+		}
+		z := h + math.Float64bits(x) + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		h = z ^ (z >> 31)
+	})
+	return h
+}
+
+// sigRow materializes node v's signature for configuration ci into dst,
+// returning the (node-constant) signature length.
+func (m *Model) sigRow(dst []float64, v, ci int) []float64 {
+	dst = dst[:0]
+	m.sigVisit(v, ci, func(x float64) { dst = append(dst, x) })
+	return dst
+}
+
+// dominates reports whether signature a beats signature b on every entry, up
+// to a relative slack of eps (eps 0 is exact ≤-dominance).
+func dominates(a, b []float64, eps float64) bool {
+	for i := range a {
+		slack := eps * math.Abs(b[i])
+		if a[i] > b[i]+slack {
+			return false
+		}
+	}
+	return true
+}
+
+// sigEqual reports whether configurations a and b of node v have identical
+// cost signatures.
+func (m *Model) sigEqual(v, a, b int) bool {
+	sa := make([]float64, 0, 64)
+	sa = m.sigRow(sa, v, a)
+	i, eq := 0, true
+	m.sigVisit(v, b, func(x float64) {
+		if eq && sa[i] != x {
+			eq = false
+		}
+		i++
+	})
+	return eq
+}
+
+// pruneNode computes node v's surviving configurations under the build
+// options: keep is the list of surviving full-enumeration indices (ascending,
+// so canonical order is preserved) and rep maps every full index to the dense
+// interned ID of its representative survivor.
+func (m *Model) pruneNode(v int, eps float64) (keep []int, rep []int32) {
+	k := len(m.cfgs[v])
+	rep = make([]int32, k) // full index -> representative full index
+	// Exact dedup: group by signature hash, verify within groups. The first
+	// member of each class (lowest enumeration index) is its representative.
+	seen := make(map[uint64][]int32, k)
+	for ci := 0; ci < k; ci++ {
+		h := m.sigHash(v, ci)
+		found := false
+		for _, cj := range seen[h] {
+			if m.sigEqual(v, int(cj), ci) {
+				rep[ci] = cj
+				found = true
+				break
+			}
+		}
+		if !found {
+			seen[h] = append(seen[h], int32(ci))
+			rep[ci] = int32(ci)
+		}
+	}
+	// Epsilon dominance over the exact survivors, first-kept-wins so the
+	// result is deterministic and representatives stay canonical.
+	if eps > 0 {
+		var keptSigs [][]float64
+		var keptIdx []int32
+		sig := make([]float64, 0, 64)
+		for ci := 0; ci < k; ci++ {
+			if rep[ci] != int32(ci) {
+				continue
+			}
+			sig = m.sigRow(sig, v, ci)
+			dominated := false
+			for j, ks := range keptSigs {
+				if dominates(ks, sig, eps) {
+					rep[ci] = keptIdx[j]
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				keptSigs = append(keptSigs, append([]float64(nil), sig...))
+				keptIdx = append(keptIdx, int32(ci))
+			}
+		}
+		// Re-point exact duplicates of a dominated config at its dominator.
+		for ci := 0; ci < k; ci++ {
+			rep[ci] = rep[rep[ci]]
+		}
+	}
+	// Intern survivors as dense IDs.
+	denseOf := make([]int32, k)
+	for ci := 0; ci < k; ci++ {
+		if rep[ci] == int32(ci) {
+			denseOf[ci] = int32(len(keep))
+			keep = append(keep, ci)
+		}
+	}
+	for ci := 0; ci < k; ci++ {
+		rep[ci] = denseOf[rep[ci]]
+	}
+	return keep, rep
+}
+
+// pruneConfigs runs the config-space reduction over every node and compacts
+// the model's config lists and cost tables to survivors only. Must run after
+// the full TL/TX tables are built and before the model is published.
+func (m *Model) pruneConfigs(eps float64) {
+	n := m.G.Len()
+	keep := make([][]int, n)
+	m.repOf = make([][]int32, n)
+	parallelFor(n, func(v int) {
+		keep[v], m.repOf[v] = m.pruneNode(v, eps)
+	})
+	// Snapshot the full enumeration before compaction: IndexOf resolves
+	// pruned configurations through it, and MaxK keeps paper semantics.
+	m.fullCfgs = make([][]itspace.Config, n)
+	copy(m.fullCfgs, m.cfgs)
+	anyPruned := false
+	for v := 0; v < n; v++ {
+		m.pruned += len(m.cfgs[v]) - len(keep[v])
+		if len(keep[v]) != len(m.cfgs[v]) {
+			anyPruned = true
+		}
+	}
+	if !anyPruned {
+		return
+	}
+	// Compact per-node config lists and TL rows.
+	parallelFor(n, func(v int) {
+		if len(keep[v]) == len(m.cfgs[v]) {
+			return
+		}
+		newCfgs := make([]itspace.Config, len(keep[v]))
+		newTL := make([]float64, len(keep[v]))
+		for i, ci := range keep[v] {
+			newCfgs[i] = m.fullCfgs[v][ci]
+			newTL[i] = m.tl[v][ci]
+		}
+		m.cfgs[v] = newCfgs
+		m.tl[v] = newTL
+	})
+	// Compact per-edge TX tables: gather surviving rows and columns.
+	parallelFor(len(m.edges), func(e int) {
+		u, v := m.edges[e][0], m.edges[e][1]
+		ku, kv := len(m.fullCfgs[u]), m.txKv[e]
+		nu, nv := len(m.cfgs[u]), len(m.cfgs[v])
+		if nu == ku && nv == kv {
+			return
+		}
+		tab := make([]float64, nu*nv)
+		tabT := make([]float64, nu*nv)
+		old := m.tx[e]
+		for i, cu := range keep[u] {
+			row := old[cu*kv : cu*kv+kv]
+			for j, cv := range keep[v] {
+				c := row[cv]
+				tab[i*nv+j] = c
+				tabT[j*nu+i] = c
+			}
+		}
+		m.tx[e] = tab
+		m.txT[e] = tabT
+		m.txKv[e] = nv
+	})
+}

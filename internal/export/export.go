@@ -38,6 +38,13 @@ type Document struct {
 	// request that produced this strategy — the planner/daemon cache key, so
 	// consumers can correlate exported documents with served requests.
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// PrunedConfigs / KEffective, when set, record the config-space
+	// reduction of the solve that produced this strategy: how many candidate
+	// configurations dominance pruning removed, and the largest per-vertex
+	// configuration count the DP actually iterated over.
+	PrunedConfigs int `json:"pruned_configs,omitempty"`
+	// KEffective is the post-pruning maximum per-vertex configuration count.
+	KEffective int `json:"k_effective,omitempty"`
 	// Layers holds one entry per node, in graph node order.
 	Layers []Layer `json:"layers"`
 }

@@ -44,6 +44,16 @@ type Options struct {
 	// part of a request's cache identity). Zero — the default — uses all
 	// available CPUs; set 1 for the explicit serial mode.
 	Workers int
+	// PruneEpsilon, when > 0, enables epsilon-dominance pruning of the
+	// configuration space at model-build time on top of the always-on exact
+	// dedup: the found strategy's cost is within (1+PruneEpsilon)² of
+	// optimal, in exchange for a smaller DP. It changes which model and
+	// results are produced, so a non-zero value is part of the request's
+	// cache identity (zero is excluded, keeping default fingerprints
+	// stable). Zero falls back to the planner's DefaultPruneEpsilon; a
+	// negative value forces the exact solve even on a planner whose
+	// default is aggressive.
+	PruneEpsilon float64
 }
 
 // Result is a found strategy with its cost and search statistics. It is
@@ -70,6 +80,12 @@ type Result struct {
 	// Fingerprint is the canonical request fingerprint (hex), the planner's
 	// cache key for this request.
 	Fingerprint string
+	// PrunedConfigs is how many candidate configurations the model's
+	// config-space reduction removed before the DP ran.
+	PrunedConfigs int
+	// KEffective is the largest per-vertex configuration count the DP
+	// iterated over (post-pruning).
+	KEffective int
 }
 
 // clone returns an independent copy whose strategy the caller may mutate.
@@ -105,6 +121,12 @@ type Config struct {
 	// BatchWorkers bounds FindBatch's request-level concurrency (default
 	// GOMAXPROCS).
 	BatchWorkers int
+	// DefaultPruneEpsilon is applied to requests whose Options leave
+	// PruneEpsilon unset (zero); see Options.PruneEpsilon. The effective
+	// value — not the request's literal field — is what enters the
+	// fingerprint, so two planners with different defaults never share
+	// stale cache entries through an exported fingerprint.
+	DefaultPruneEpsilon float64
 }
 
 func (c Config) modelCacheSize() int {
@@ -149,6 +171,9 @@ type Stats struct {
 	// ResultEvictions / ModelEvictions count LRU evictions.
 	ResultEvictions int64 `json:"result_evictions"`
 	ModelEvictions  int64 `json:"model_evictions"`
+	// PrunedConfigs totals the candidate configurations removed by
+	// config-space reduction across all models this planner built.
+	PrunedConfigs int64 `json:"pruned_configs"`
 }
 
 type solveFlight struct {
@@ -193,16 +218,23 @@ func New(cfg Config) *Planner {
 }
 
 // Fingerprints returns the model- and solve-level canonical fingerprints of a
-// request. The model fingerprint covers (graph, machine, enumeration
-// policy); the solve fingerprint extends it with the result-relevant solver
-// options (ordering choice and the effective memory budget — Workers is
-// excluded because results are byte-identical at any worker count).
+// request. The model fingerprint covers (graph, machine, enumeration policy,
+// and — only when non-zero — PruneEpsilon, which changes the built model's
+// config space); the solve fingerprint extends it with the result-relevant
+// solver options (ordering choice and the effective memory budget — Workers
+// is excluded because results are byte-identical at any worker count, and a
+// zero PruneEpsilon is excluded because exact dedup preserves results
+// byte for byte, keeping pre-existing fingerprints stable).
 func Fingerprints(req Request) (modelFP, solveFP canon.Fingerprint) {
 	w := canon.NewWriter()
 	w.Label("pase.request/v1")
 	req.G.CanonicalEncode(w)
 	req.Spec.CanonicalEncode(w)
 	req.Opts.Policy.CanonicalEncode(w)
+	if req.Opts.PruneEpsilon > 0 {
+		w.Label("prune-epsilon")
+		w.F64(req.Opts.PruneEpsilon)
+	}
 	modelFP = w.Sum()
 	w.Label("solve-options")
 	budget := req.Opts.MaxTableEntries
@@ -228,6 +260,15 @@ func (p *Planner) Solve(req Request) (*Result, error) {
 	start := time.Now()
 	if req.G == nil {
 		return nil, errors.New("planner: nil graph")
+	}
+	// Resolve the effective epsilon before fingerprinting, so the cache key
+	// reflects what the model build will actually do: zero inherits the
+	// planner default, negative explicitly opts out of it.
+	switch {
+	case req.Opts.PruneEpsilon < 0:
+		req.Opts.PruneEpsilon = 0
+	case req.Opts.PruneEpsilon == 0 && p.cfg.DefaultPruneEpsilon > 0:
+		req.Opts.PruneEpsilon = p.cfg.DefaultPruneEpsilon
 	}
 	modelFP, solveFP := Fingerprints(req)
 
@@ -299,13 +340,15 @@ func (p *Planner) doSolve(req Request, modelFP, solveFP canon.Fingerprint, start
 	p.stats.Solves++
 	p.mu.Unlock()
 	return &Result{
-		Strategy:    r.Strategy,
-		Cost:        r.Cost,
-		SearchTime:  time.Since(start),
-		ModelTime:   modelTime,
-		MaxDepSize:  r.Stats.MaxDepSize,
-		States:      r.Stats.States,
-		Fingerprint: solveFP.String(),
+		Strategy:      r.Strategy,
+		Cost:          r.Cost,
+		SearchTime:    time.Since(start),
+		ModelTime:     modelTime,
+		MaxDepSize:    r.Stats.MaxDepSize,
+		States:        r.Stats.States,
+		Fingerprint:   solveFP.String(),
+		PrunedConfigs: r.Stats.PrunedConfigs,
+		KEffective:    r.Stats.KEffective,
 	}, nil
 }
 
@@ -313,7 +356,10 @@ func (p *Planner) doSolve(req Request, modelFP, solveFP canon.Fingerprint, start
 // Callers that need direct model access (MCMC search, strategy costing,
 // simulation baselines) share the planner's model cache this way.
 func (p *Planner) Model(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy) (*cost.Model, error) {
-	req := Request{G: g, Spec: spec, Opts: Options{Policy: pol}}
+	req := Request{G: g, Spec: spec, Opts: Options{Policy: pol, PruneEpsilon: p.cfg.DefaultPruneEpsilon}}
+	if req.Opts.PruneEpsilon < 0 {
+		req.Opts.PruneEpsilon = 0
+	}
 	modelFP, _ := Fingerprints(req)
 	m, _, err := p.model(req, modelFP)
 	return m, err
@@ -339,12 +385,15 @@ func (p *Planner) model(req Request, modelFP canon.Fingerprint) (*cost.Model, ti
 	p.modelFlights[modelFP] = fl
 	p.mu.Unlock()
 
-	m, err := cost.NewModel(req.G, req.Spec, req.Opts.Policy)
+	m, err := cost.NewModelWith(req.G, req.Spec, req.Opts.Policy, cost.BuildOptions{
+		PruneEpsilon: req.Opts.PruneEpsilon,
+	})
 
 	p.mu.Lock()
 	delete(p.modelFlights, modelFP)
 	if err == nil {
 		p.stats.ModelBuilds++
+		p.stats.PrunedConfigs += int64(m.PrunedConfigs())
 		p.models.Put(modelFP, m)
 	}
 	fl.m, fl.err = m, err

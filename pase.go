@@ -138,12 +138,15 @@ var (
 
 // Options tunes Find. See planner.Options for field documentation: Policy
 // restricts enumeration, MaxTableEntries bounds DP memory, BreadthFirst
-// selects the naive ordering baseline, Workers sets DP fill parallelism.
+// selects the naive ordering baseline, Workers sets DP fill parallelism, and
+// PruneEpsilon enables epsilon-dominance config pruning (cost within
+// (1+ε)² of optimal) on top of the always-on exact dedup.
 type Options = planner.Options
 
 // Result is a found strategy with its cost and search statistics, including
-// end-to-end SearchTime, the ModelTime share spent building cost tables, and
-// whether the planner served it from cache (Cached, Fingerprint).
+// end-to-end SearchTime, the ModelTime share spent building cost tables,
+// whether the planner served it from cache (Cached, Fingerprint), and the
+// config-space reduction stats (PrunedConfigs, KEffective).
 type Result = planner.Result
 
 // Planner is the serving layer above the solve pipeline: bounded LRU caches
@@ -183,9 +186,20 @@ func DefaultPlanner() *Planner { return defaultPlanner }
 var ErrOOM = core.ErrOOM
 
 // NewModel binds a graph to a machine under an enumeration policy, building
-// all layer and edge cost tables eagerly across a worker pool.
+// all layer and edge cost tables eagerly across a worker pool, then
+// compacting the config space by exact duplicate-signature dedup.
 func NewModel(g *Graph, spec Machine, pol EnumPolicy) (*Model, error) {
 	return cost.NewModel(g, spec, pol)
+}
+
+// ModelBuildOptions tunes NewModelWithOptions: PruneEpsilon enables
+// epsilon-dominance config pruning; DisablePruning turns off even the exact
+// dedup (the unpruned oracle the pruning property tests compare against).
+type ModelBuildOptions = cost.BuildOptions
+
+// NewModelWithOptions is NewModel under explicit build options.
+func NewModelWithOptions(g *Graph, spec Machine, pol EnumPolicy, bo ModelBuildOptions) (*Model, error) {
+	return cost.NewModelWith(g, spec, pol, bo)
 }
 
 // Find runs the paper's FINDBESTSTRATEGY on the graph for the machine,
@@ -224,11 +238,13 @@ func FindWithModel(m *Model, opts Options) (*Result, error) {
 		return nil, err
 	}
 	return &Result{
-		Strategy:   res.Strategy,
-		Cost:       res.Cost,
-		SearchTime: time.Since(start),
-		MaxDepSize: res.Stats.MaxDepSize,
-		States:     res.Stats.States,
+		Strategy:      res.Strategy,
+		Cost:          res.Cost,
+		SearchTime:    time.Since(start),
+		MaxDepSize:    res.Stats.MaxDepSize,
+		States:        res.Stats.States,
+		PrunedConfigs: res.Stats.PrunedConfigs,
+		KEffective:    res.Stats.KEffective,
 	}, nil
 }
 
