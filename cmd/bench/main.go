@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -136,7 +137,7 @@ func run(cfg config) error {
 			if err != nil {
 				return err
 			}
-			res, err := pase.FindWithModel(m, pase.Options{})
+			res, err := pase.Solve(context.Background(), pase.SolveRequest{Model: m})
 			if err != nil {
 				return err
 			}
@@ -198,7 +199,9 @@ func run(cfg config) error {
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		ns, err := measure(reps, func() error {
-			_, err := pase.FindWithModel(tm, pase.Options{Workers: workers})
+			_, err := pase.Solve(context.Background(), pase.SolveRequest{
+				Model: tm, Opts: pase.Options{Workers: workers},
+			})
 			return err
 		})
 		if err != nil {

@@ -1,39 +1,67 @@
-// Command pase finds an efficient parallelization strategy for one of the
-// paper's benchmark models and prints it in the style of the paper's
-// Table II, together with its analytic cost and simulated step time.
+// Command pase finds a parallelization strategy for one of the paper's
+// benchmark models and prints it in the style of the paper's Table II,
+// together with its analytic cost and simulated step time. The compare
+// subcommand runs every solve method on one model and prints the paper's
+// method × cost × speedup table (Fig. 6 as a CLI).
 //
 // Usage:
 //
 //	pase -model alexnet -gpus 32 -machine 1080ti
-//	pase -model transformer -gpus 16 -machine 2080ti -compare
+//	pase -model transformer -gpus 16 -method expert:transformer
+//	pase -model inceptionv3 -gpus 32 -timeout 10s
 //	pase -model rnnlm -gpus 16 -machine uniform:8:11.3e12:12e9:10e9
+//	pase compare -model transformer -gpus 32 -machine 2080ti
+//
+// Every solve runs through a planner with a cancellable context: -timeout
+// bounds the whole run (a deadline aborts a model build or DP mid-flight
+// within milliseconds), and -method selects the strategy-search method (dp,
+// mcmc, dataparallel, expert:<family>).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pase"
 	"pase/internal/report"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		if err := compareMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pase:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		model   = flag.String("model", "alexnet", "benchmark model: alexnet, inceptionv3, rnnlm, transformer")
 		gpus    = flag.Int("gpus", 32, "device count p")
 		mach    = flag.String("machine", "1080ti", "machine profile: 1080ti, 2080ti, or uniform:<devices-per-node>:<flops>:<intra-bw>:<inter-bw>")
-		compare = flag.Bool("compare", false, "also report data-parallel, expert, and MCMC baselines")
+		method  = flag.String("method", "dp", "solve method: dp, mcmc, dataparallel, or expert:<family>")
+		timeout = flag.Duration("timeout", 0, "abort the solve after this long (0 = no deadline)")
+		compare = flag.Bool("compare", false, "deprecated: use the compare subcommand (runs it after the solve)")
 		export  = flag.String("export", "", "write the strategy as JSON to this file")
 	)
 	flag.Parse()
-	if err := run(*model, *gpus, *mach, *compare, *export); err != nil {
+	if err := run(*model, *gpus, *mach, *method, *timeout, *compare, *export); err != nil {
 		fmt.Fprintln(os.Stderr, "pase:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model string, gpus int, mach string, compare bool, exportPath string) error {
+// withDeadline derives the run's context from -timeout.
+func withDeadline(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+func run(model string, gpus int, mach, method string, timeout time.Duration, compare bool, exportPath string) error {
 	bm, err := pase.BenchmarkByName(model)
 	if err != nil {
 		return err
@@ -42,16 +70,25 @@ func run(model string, gpus int, mach string, compare bool, exportPath string) e
 	if err != nil {
 		return err
 	}
+	if err := pase.ValidateMethod(method); err != nil {
+		return err
+	}
+	ctx, cancel := withDeadline(timeout)
+	defer cancel()
 	g := bm.Build(bm.Batch)
-	// All solving goes through a planner: the -compare baselines below reuse
-	// the solve's cached cost model instead of rebuilding it.
+	// All solving goes through a planner: the compare table below reuses the
+	// solve's cached results and cost model instead of recomputing them.
 	pl := pase.NewPlanner(pase.PlannerConfig{})
-	res, err := pl.Find(g, spec, pase.Options{Policy: bm.Policy(gpus)})
+	res, err := pl.Solve(ctx, pase.SolveRequest{
+		G:    g,
+		Spec: spec,
+		Opts: pase.Options{Policy: bm.Policy(gpus), Method: method},
+	})
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("%s on %d × %s (batch %d)\n", bm.Name, gpus, spec.Name, bm.Batch)
+	fmt.Printf("%s on %d × %s (batch %d, method %s)\n", bm.Name, gpus, spec.Name, bm.Batch, res.Method)
 	fmt.Printf("search time: %s (model %s)   cost: %.4g s/step   M=%d   states=%d\n",
 		report.Duration(res.SearchTime), report.Duration(res.ModelTime), res.Cost, res.MaxDepSize, res.States)
 	fmt.Printf("config space: K-effective=%d (%d configs pruned)\n\n", res.KEffective, res.PrunedConfigs)
@@ -86,6 +123,7 @@ func run(model string, gpus int, mach string, compare bool, exportPath string) e
 			return err
 		}
 		doc.Fingerprint = res.Fingerprint
+		doc.Method = res.Method
 		doc.PrunedConfigs = res.PrunedConfigs
 		doc.KEffective = res.KEffective
 		f, err := os.Create(exportPath)
@@ -102,52 +140,65 @@ func run(model string, gpus int, mach string, compare bool, exportPath string) e
 	if !compare {
 		return nil
 	}
-	// The planner's model cache already holds this (graph, machine, policy)
-	// model from the solve above; the baselines reuse it for free.
-	m, err := pl.Model(g, spec, bm.Policy(gpus))
+	fmt.Println()
+	return renderCompare(ctx, pl, bm, g, spec, gpus)
+}
+
+// compareMain is the compare subcommand: all methods on one model, printed
+// as the paper-style method × cost × speedup table.
+func compareMain(args []string) error {
+	fs := flag.NewFlagSet("pase compare", flag.ExitOnError)
+	var (
+		model   = fs.String("model", "alexnet", "benchmark model: alexnet, inceptionv3, rnnlm, transformer")
+		gpus    = fs.Int("gpus", 32, "device count p")
+		mach    = fs.String("machine", "1080ti", "machine profile: 1080ti, 2080ti, or uniform:...")
+		timeout = fs.Duration("timeout", 0, "abort the comparison after this long (0 = no deadline)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bm, err := pase.BenchmarkByName(*model)
 	if err != nil {
 		return err
 	}
-	dp := pase.DataParallelStrategy(g, gpus)
-	exp, err := pase.ExpertStrategy(bm.Family, g, gpus)
+	spec, err := pase.ParseMachine(*mach, *gpus)
 	if err != nil {
 		return err
 	}
-	mc, err := pase.MCMCSearch(m, exp, pase.MCMCOptions{Seed: 1})
+	ctx, cancel := withDeadline(*timeout)
+	defer cancel()
+	g := bm.Build(bm.Batch)
+	pl := pase.NewPlanner(pase.PlannerConfig{})
+	fmt.Printf("%s on %d × %s (batch %d)\n", bm.Name, *gpus, spec.Name, bm.Batch)
+	return renderCompare(ctx, pl, bm, g, spec, *gpus)
+}
+
+// renderCompare runs Planner.Compare and prints the paper-style table.
+func renderCompare(ctx context.Context, pl *pase.Planner, bm pase.Benchmark, g *pase.Graph, spec pase.Machine, gpus int) error {
+	cmp, err := pl.Compare(ctx, pase.CompareRequest{
+		G:      g,
+		Spec:   spec,
+		Opts:   pase.Options{Policy: bm.Policy(gpus)},
+		Batch:  bm.Batch,
+		Family: bm.Family,
+	})
 	if err != nil {
 		return err
 	}
-	cmp := &report.Table{
-		Title:  "\nBaseline comparison (simulated throughput)",
-		Header: []string{"Strategy", "Cost (s/step)", "Step (ms)", "Speedup vs DP"},
+	tb := &report.Table{
+		Title:  fmt.Sprintf("Method comparison (speedups over %s, paper Fig. 6)", cmp.Baseline),
+		Header: []string{"Method", "Cost (s/step)", "Step (ms)", "Speedup vs DP", "Search"},
 	}
-	add := func(name string, s pase.Strategy) error {
-		c, err := pase.StrategyCost(m, s)
-		if err != nil {
-			return err
+	for _, e := range cmp.Entries {
+		if e.Err != nil {
+			tb.Add(e.Method, "error: "+e.Err.Error(), "", "", "")
+			continue
 		}
-		st, err := pase.Simulate(g, s, spec, bm.Batch)
-		if err != nil {
-			return err
-		}
-		sp, err := pase.SimulatedSpeedup(g, s, dp, spec, bm.Batch)
-		if err != nil {
-			return err
-		}
-		cmp.Add(name, fmt.Sprintf("%.4g", c), fmt.Sprintf("%.3f", st.StepSeconds*1e3), fmt.Sprintf("%.2f", sp))
-		return nil
+		tb.Add(e.Method,
+			fmt.Sprintf("%.4g", e.Result.Cost),
+			fmt.Sprintf("%.3f", e.Step.StepSeconds*1e3),
+			fmt.Sprintf("%.2f", e.Speedup),
+			report.Duration(e.Result.SearchTime))
 	}
-	if err := add("DataParallel", dp); err != nil {
-		return err
-	}
-	if err := add("Expert", exp); err != nil {
-		return err
-	}
-	if err := add("FlexFlow(MCMC)", mc.Strategy); err != nil {
-		return err
-	}
-	if err := add("PaSE", res.Strategy); err != nil {
-		return err
-	}
-	return cmp.Render(os.Stdout)
+	return tb.Render(os.Stdout)
 }

@@ -4,24 +4,39 @@
 // the planner's result cache, concurrent identical requests share one solve,
 // and batches fan out across a worker pool sharing cached cost models.
 //
+// Every solve is tied to its request's context: a disconnected client or the
+// -solve-timeout deadline aborts the model build or DP mid-flight within
+// milliseconds — unless another identical request is still waiting on the
+// same singleflighted solve, in which case it finishes for them. SIGTERM
+// drains gracefully: in-flight requests complete (up to -drain-timeout),
+// then remaining connections are force-closed, which cancels their solves.
+//
 // Usage:
 //
-//	pased -addr :8555
+//	pased -addr :8555 -solve-timeout 2m
 //	curl -s localhost:8555/v1/healthz
 //	curl -s -X POST localhost:8555/v1/solve \
 //	    -d '{"model":"alexnet","gpus":8,"machine":"1080ti"}'
+//	curl -s -X POST localhost:8555/v1/solve \
+//	    -d '{"model":"alexnet","gpus":8,"options":{"method":"expert:cnn"}}'
 //	curl -s -X POST localhost:8555/v1/batch \
 //	    -d '{"requests":[{"model":"alexnet","gpus":8},{"model":"rnnlm","gpus":16}]}'
+//	curl -s -X POST localhost:8555/v1/compare \
+//	    -d '{"model":"alexnet","gpus":8}'
 //	curl -s localhost:8555/v1/stats
 //
 // Endpoints:
 //
 //	POST /v1/solve   — solve one request; returns the strategy as the
 //	                   internal/export interchange document plus timing,
-//	                   cache, and fingerprint metadata.
+//	                   cache, method, and fingerprint metadata.
 //	POST /v1/batch   — solve many requests concurrently; per-item errors.
+//	POST /v1/compare — run every solve method (or an explicit "methods"
+//	                   list) on one model and report each method's cost,
+//	                   simulated step, and speedup over data parallelism —
+//	                   the paper's Fig. 6 as an endpoint.
 //	GET  /v1/healthz — liveness.
-//	GET  /v1/stats   — planner cache/dedup/pruning counters and server
+//	GET  /v1/stats   — planner cache/dedup/cancellation counters and server
 //	                   counters.
 //
 // -debug-addr mounts net/http/pprof on a separate localhost listener so
@@ -61,8 +76,8 @@ type solveRequest struct {
 	// Machine is a machine-spec string (1080ti, 2080ti, uniform:...);
 	// default 1080ti.
 	Machine string `json:"machine,omitempty"`
-	// Options tunes enumeration and the solver; omitted means the model's
-	// default policy for p.
+	// Options tunes the method, enumeration, and the solver; omitted means
+	// the DP method under the model's default policy for p.
 	Options *solveOptions `json:"options,omitempty"`
 }
 
@@ -70,6 +85,11 @@ type solveRequest struct {
 // RequireFullDegree false selects the benchmark's default policy for p;
 // set any policy field to take manual control.
 type solveOptions struct {
+	// Method selects the solve method: dp (default), mcmc, dataparallel, or
+	// expert:<family> with family cnn, rnn, or transformer.
+	Method string `json:"method,omitempty"`
+	// MCMCSeed seeds the mcmc method's chain (deterministic per seed).
+	MCMCSeed          int64 `json:"mcmc_seed,omitempty"`
 	MaxSplitDims      int   `json:"max_split_dims,omitempty"`
 	RequireFullDegree bool  `json:"require_full_degree,omitempty"`
 	MaxTableEntries   int64 `json:"max_table_entries,omitempty"`
@@ -85,8 +105,9 @@ type solveOptions struct {
 // solveResponse is the wire form of one solved strategy.
 type solveResponse struct {
 	// Strategy is the interchange document (internal/export schema) handed
-	// to execution frameworks, fingerprint included.
+	// to execution frameworks, fingerprint and method included.
 	Strategy    *pase.StrategyDocument `json:"strategy"`
+	Method      string                 `json:"method"`
 	CostSeconds float64                `json:"cost_seconds"`
 	SearchMs    float64                `json:"search_ms"`
 	ModelMs     float64                `json:"model_ms"`
@@ -114,16 +135,48 @@ type batchResponse struct {
 	Results []batchEntry `json:"results"`
 }
 
-// server routes HTTP requests to a planner.
-type server struct {
-	pl      *pase.Planner
-	maxGPUs int
-	start   time.Time
-	served  atomic.Int64
+// compareRequest is the wire form of POST /v1/compare: one model, every
+// method (or an explicit list).
+type compareRequest struct {
+	solveRequest
+	// Methods overrides the default method list (dataparallel, the model's
+	// expert strategy, mcmc, dp).
+	Methods []string `json:"methods,omitempty"`
 }
 
-func newServer(pl *pase.Planner, maxGPUs int) *server {
-	return &server{pl: pl, maxGPUs: maxGPUs, start: time.Now()}
+// compareEntry is one method's row of a compare response.
+type compareEntry struct {
+	Method      string  `json:"method"`
+	CostSeconds float64 `json:"cost_seconds,omitempty"`
+	StepMs      float64 `json:"step_ms,omitempty"`
+	Throughput  float64 `json:"throughput,omitempty"`
+	// SpeedupVsDP is the simulated step-time speedup over data parallelism —
+	// the paper's Fig. 6 metric.
+	SpeedupVsDP float64 `json:"speedup_vs_dp,omitempty"`
+	SearchMs    float64 `json:"search_ms,omitempty"`
+	Cached      bool    `json:"cached,omitempty"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+type compareResponse struct {
+	Model    string         `json:"model"`
+	Devices  int            `json:"devices"`
+	Baseline string         `json:"baseline"`
+	Entries  []compareEntry `json:"entries"`
+}
+
+// server routes HTTP requests to a planner.
+type server struct {
+	pl           *pase.Planner
+	maxGPUs      int
+	solveTimeout time.Duration
+	start        time.Time
+	served       atomic.Int64
+}
+
+func newServer(pl *pase.Planner, maxGPUs int, solveTimeout time.Duration) *server {
+	return &server{pl: pl, maxGPUs: maxGPUs, solveTimeout: solveTimeout, start: time.Now()}
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -132,7 +185,17 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	return mux
+}
+
+// solveCtx ties a solve to the client connection (r.Context() is cancelled
+// when the client disconnects) and the daemon's per-solve deadline.
+func (s *server) solveCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.solveTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.solveTimeout)
+	}
+	return context.WithCancel(r.Context())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -143,6 +206,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	if err := enc.Encode(v); err != nil {
 		log.Printf("pased: encode response: %v", err)
 	}
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away mid-solve, so no one reads the response — the status only feeds logs
+// and metrics.
+const statusClientClosedRequest = 499
+
+// solveStatus maps a planner error onto an HTTP status: OOM is an
+// unprocessable request, a solve-deadline expiry is a gateway timeout, and a
+// client-cancelled solve is 499.
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, pase.ErrOOM):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	}
+	return http.StatusInternalServerError
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
@@ -168,14 +251,14 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 // toRequest validates and lowers a wire request onto the planner's Request,
-// returning the benchmark name for the export document.
-func (s *server) toRequest(sr solveRequest) (pase.SolveRequest, string, error) {
+// returning the benchmark for the export document and the compare defaults.
+func (s *server) toRequest(sr solveRequest) (pase.SolveRequest, pase.Benchmark, error) {
 	bm, err := pase.BenchmarkByName(sr.Model)
 	if err != nil {
-		return pase.SolveRequest{}, "", err
+		return pase.SolveRequest{}, pase.Benchmark{}, err
 	}
 	if sr.GPUs < 1 || sr.GPUs > s.maxGPUs {
-		return pase.SolveRequest{}, "", fmt.Errorf("gpus %d out of range [1, %d]", sr.GPUs, s.maxGPUs)
+		return pase.SolveRequest{}, pase.Benchmark{}, fmt.Errorf("gpus %d out of range [1, %d]", sr.GPUs, s.maxGPUs)
 	}
 	batch := bm.Batch
 	if sr.Batch > 0 {
@@ -187,7 +270,7 @@ func (s *server) toRequest(sr solveRequest) (pase.SolveRequest, string, error) {
 	}
 	spec, err := pase.ParseMachine(mach, sr.GPUs)
 	if err != nil {
-		return pase.SolveRequest{}, "", err
+		return pase.SolveRequest{}, pase.Benchmark{}, err
 	}
 	opts := pase.Options{Policy: bm.Policy(sr.GPUs)}
 	if o := sr.Options; o != nil {
@@ -196,18 +279,21 @@ func (s *server) toRequest(sr solveRequest) (pase.SolveRequest, string, error) {
 		// budget directly. (Model-build memory has no budget knob — it is
 		// bounded by -max-gpus, which caps the configuration counts the
 		// eager TL/TX tables are sized by.)
+		if err := pase.ValidateMethod(o.Method); err != nil {
+			return pase.SolveRequest{}, pase.Benchmark{}, err
+		}
 		if o.Workers < 0 || o.Workers > maxWorkers {
-			return pase.SolveRequest{}, "", fmt.Errorf("workers %d out of range [0, %d]", o.Workers, maxWorkers)
+			return pase.SolveRequest{}, pase.Benchmark{}, fmt.Errorf("workers %d out of range [0, %d]", o.Workers, maxWorkers)
 		}
 		if o.MaxTableEntries < 0 || o.MaxTableEntries > maxTableEntriesCap {
-			return pase.SolveRequest{}, "", fmt.Errorf("max_table_entries %d out of range [0, %d]", o.MaxTableEntries, int64(maxTableEntriesCap))
+			return pase.SolveRequest{}, pase.Benchmark{}, fmt.Errorf("max_table_entries %d out of range [0, %d]", o.MaxTableEntries, int64(maxTableEntriesCap))
 		}
 		if o.MaxSplitDims < 0 {
-			return pase.SolveRequest{}, "", fmt.Errorf("max_split_dims %d must be >= 0", o.MaxSplitDims)
+			return pase.SolveRequest{}, pase.Benchmark{}, fmt.Errorf("max_split_dims %d must be >= 0", o.MaxSplitDims)
 		}
 		if o.PruneEpsilon != nil {
 			if *o.PruneEpsilon < 0 || *o.PruneEpsilon > maxPruneEpsilon {
-				return pase.SolveRequest{}, "", fmt.Errorf("prune_epsilon %g out of range [0, %g]", *o.PruneEpsilon, maxPruneEpsilon)
+				return pase.SolveRequest{}, pase.Benchmark{}, fmt.Errorf("prune_epsilon %g out of range [0, %g]", *o.PruneEpsilon, maxPruneEpsilon)
 			}
 			// An explicit wire zero means "exact, no matter the daemon
 			// default" — the planner's negative-epsilon opt-out.
@@ -219,11 +305,13 @@ func (s *server) toRequest(sr solveRequest) (pase.SolveRequest, string, error) {
 		if o.MaxSplitDims > 0 || o.RequireFullDegree {
 			opts.Policy = pase.EnumPolicy{MaxSplitDims: o.MaxSplitDims, RequireFullDegree: o.RequireFullDegree}
 		}
+		opts.Method = o.Method
+		opts.MCMC.Seed = o.MCMCSeed
 		opts.MaxTableEntries = o.MaxTableEntries
 		opts.BreadthFirst = o.BreadthFirst
 		opts.Workers = o.Workers
 	}
-	return pase.SolveRequest{G: bm.Build(batch), Spec: spec, Opts: opts}, bm.Name, nil
+	return pase.SolveRequest{G: bm.Build(batch), Spec: spec, Opts: opts}, bm, nil
 }
 
 // toResponse lifts a planner result into the wire form.
@@ -233,10 +321,12 @@ func toResponse(req pase.SolveRequest, model string, res *pase.Result) (*solveRe
 		return nil, err
 	}
 	doc.Fingerprint = res.Fingerprint
+	doc.Method = res.Method
 	doc.PrunedConfigs = res.PrunedConfigs
 	doc.KEffective = res.KEffective
 	return &solveResponse{
 		Strategy:      doc,
+		Method:        res.Method,
 		CostSeconds:   res.Cost,
 		SearchMs:      float64(res.SearchTime.Nanoseconds()) / 1e6,
 		ModelMs:       float64(res.ModelTime.Nanoseconds()) / 1e6,
@@ -262,6 +352,9 @@ const (
 	// slack the "strategy" degenerates and cache entries multiply for no
 	// plausible use.
 	maxPruneEpsilon = 1.0
+	// maxCompareMethods bounds an explicit compare method list; the full
+	// default comparison is 4 entries.
+	maxCompareMethods = 8
 )
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -271,21 +364,19 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	req, model, err := s.toRequest(sr)
+	req, bm, err := s.toRequest(sr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.pl.Solve(req)
+	ctx, cancel := s.solveCtx(r)
+	defer cancel()
+	res, err := s.pl.Solve(ctx, req)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, pase.ErrOOM) {
-			status = http.StatusUnprocessableEntity
-		}
-		writeError(w, status, err)
+		writeError(w, solveStatus(err), err)
 		return
 	}
-	resp, err := toResponse(req, model, res)
+	resp, err := toResponse(req, bm.Name, res)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -309,16 +400,18 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var models []string
 	var idx []int // position of reqs[k] within entries
 	for i, sr := range br.Requests {
-		req, model, err := s.toRequest(sr)
+		req, bm, err := s.toRequest(sr)
 		if err != nil {
 			entries[i].Error = err.Error()
 			continue
 		}
 		reqs = append(reqs, req)
-		models = append(models, model)
+		models = append(models, bm.Name)
 		idx = append(idx, i)
 	}
-	for k, item := range s.pl.FindBatch(reqs) {
+	ctx, cancel := s.solveCtx(r)
+	defer cancel()
+	for k, item := range s.pl.SolveBatch(ctx, reqs) {
 		i := idx[k]
 		if item.Err != nil {
 			entries[i].Error = item.Err.Error()
@@ -332,6 +425,69 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		entries[i].solveResponse = resp
 	}
 	writeJSON(w, http.StatusOK, batchResponse{Results: entries})
+}
+
+func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	s.served.Add(1)
+	var cr compareRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&cr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(cr.Methods) > maxCompareMethods {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("methods list has %d entries, max %d", len(cr.Methods), maxCompareMethods))
+		return
+	}
+	for _, m := range cr.Methods {
+		if m == "" {
+			writeError(w, http.StatusBadRequest, errors.New(`empty method in "methods" (use "dp")`))
+			return
+		}
+		if err := pase.ValidateMethod(m); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	req, bm, err := s.toRequest(cr.solveRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	batch := bm.Batch
+	if cr.Batch > 0 {
+		batch = cr.Batch
+	}
+	ctx, cancel := s.solveCtx(r)
+	defer cancel()
+	cmp, err := s.pl.Compare(ctx, pase.CompareRequest{
+		G:       req.G,
+		Spec:    req.Spec,
+		Opts:    req.Opts,
+		Batch:   batch,
+		Family:  bm.Family,
+		Methods: cr.Methods,
+	})
+	if err != nil {
+		writeError(w, solveStatus(err), err)
+		return
+	}
+	resp := compareResponse{Model: bm.Name, Devices: req.Spec.Devices, Baseline: cmp.Baseline}
+	for _, e := range cmp.Entries {
+		we := compareEntry{Method: e.Method}
+		if e.Err != nil {
+			we.Error = e.Err.Error()
+		} else {
+			we.CostSeconds = e.Result.Cost
+			we.StepMs = e.Step.StepSeconds * 1e3
+			we.Throughput = e.Step.Throughput
+			we.SpeedupVsDP = e.Speedup
+			we.SearchMs = float64(e.Result.SearchTime.Nanoseconds()) / 1e6
+			we.Cached = e.Result.Cached
+			we.Fingerprint = e.Result.Fingerprint
+		}
+		resp.Entries = append(resp.Entries, we)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // requireLoopback rejects debug-listener addresses that would bind beyond
@@ -354,13 +510,15 @@ func requireLoopback(addr string) error {
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8555", "listen address")
-		modelCache  = flag.Int("model-cache", 16, "cost-model LRU capacity")
-		resultCache = flag.Int("result-cache", 256, "solved-result LRU capacity")
-		workers     = flag.Int("batch-workers", 0, "batch fan-out workers (0 = GOMAXPROCS)")
-		maxGPUs     = flag.Int("max-gpus", 128, "largest accepted device count (cost-model tables grow with p; raise deliberately)")
-		pruneEps    = flag.Float64("prune-epsilon", 0, "default epsilon-dominance config pruning for requests that leave it unset (0 = exact dedup only)")
-		debugAddr   = flag.String("debug-addr", "", "optional localhost listen address serving net/http/pprof (e.g. 127.0.0.1:6060); off when empty")
+		addr         = flag.String("addr", ":8555", "listen address")
+		modelCache   = flag.Int("model-cache", 16, "cost-model LRU capacity")
+		resultCache  = flag.Int("result-cache", 256, "solved-result LRU capacity")
+		workers      = flag.Int("batch-workers", 0, "batch fan-out workers (0 = GOMAXPROCS)")
+		maxGPUs      = flag.Int("max-gpus", 128, "largest accepted device count (cost-model tables grow with p; raise deliberately)")
+		pruneEps     = flag.Float64("prune-epsilon", 0, "default epsilon-dominance config pruning for requests that leave it unset (0 = exact dedup only)")
+		solveTimeout = flag.Duration("solve-timeout", 2*time.Minute, "per-request solve deadline; the solve is aborted mid-DP when it expires (0 = no deadline)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long SIGTERM waits for in-flight requests before force-closing connections (which cancels their solves)")
+		debugAddr    = flag.String("debug-addr", "", "optional localhost listen address serving net/http/pprof (e.g. 127.0.0.1:6060); off when empty")
 	)
 	flag.Parse()
 	if *pruneEps < 0 || *pruneEps > maxPruneEpsilon {
@@ -391,13 +549,13 @@ func main() {
 	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(pl, *maxGPUs).mux(),
+		Handler:           newServer(pl, *maxGPUs, *solveTimeout).mux(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("pased: serving on %s", *addr)
+		log.Printf("pased: serving on %s (solve timeout %s)", *addr, *solveTimeout)
 		errc <- srv.ListenAndServe()
 	}()
 	sigc := make(chan os.Signal, 1)
@@ -406,11 +564,18 @@ func main() {
 	case err := <-errc:
 		log.Fatalf("pased: %v", err)
 	case sig := <-sigc:
-		log.Printf("pased: %v, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain: stop accepting, let in-flight solves finish up to
+		// the drain budget, then force-close what remains — closing a
+		// connection cancels its request context, which aborts its solve.
+		log.Printf("pased: %v, draining in-flight requests (up to %s)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Fatalf("pased: shutdown: %v", err)
+			log.Printf("pased: drain expired (%v); force-closing connections", err)
+			if err := srv.Close(); err != nil {
+				log.Fatalf("pased: close: %v", err)
+			}
 		}
+		log.Printf("pased: drained, exiting")
 	}
 }

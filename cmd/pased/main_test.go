@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,13 +10,14 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"pase"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	s := newServer(pase.NewPlanner(pase.PlannerConfig{}), 64)
+	s := newServer(pase.NewPlanner(pase.PlannerConfig{}), 64, 0)
 	ts := httptest.NewServer(s.mux())
 	t.Cleanup(ts.Close)
 	return ts
@@ -266,9 +268,9 @@ func TestSolveOptionBounds(t *testing.T) {
 }
 
 func TestExplicitZeroEpsilonOverridesDaemonDefault(t *testing.T) {
-	aggr := httptest.NewServer(newServer(pase.NewPlanner(pase.PlannerConfig{DefaultPruneEpsilon: 0.2}), 64).mux())
+	aggr := httptest.NewServer(newServer(pase.NewPlanner(pase.PlannerConfig{DefaultPruneEpsilon: 0.2}), 64, 0).mux())
 	defer aggr.Close()
-	exact := httptest.NewServer(newServer(pase.NewPlanner(pase.PlannerConfig{}), 64).mux())
+	exact := httptest.NewServer(newServer(pase.NewPlanner(pase.PlannerConfig{}), 64, 0).mux())
 	defer exact.Close()
 
 	_, def := postJSON(t, aggr.URL+"/v1/solve", `{"model":"alexnet","gpus":8}`)
@@ -281,5 +283,164 @@ func TestExplicitZeroEpsilonOverridesDaemonDefault(t *testing.T) {
 	if forced["fingerprint"] != ref["fingerprint"] {
 		t.Fatalf("forced-exact fingerprint %v differs from an exact daemon's %v",
 			forced["fingerprint"], ref["fingerprint"])
+	}
+}
+
+func TestCompareEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	status, out := postJSON(t, ts.URL+"/v1/compare", `{"model":"alexnet","gpus":8}`)
+	if status != http.StatusOK {
+		t.Fatalf("compare status %d: %v", status, out)
+	}
+	if out["baseline"] != "dataparallel" || out["model"] != "AlexNet" {
+		t.Fatalf("compare header: %v", out)
+	}
+	entries, ok := out["entries"].([]any)
+	if !ok || len(entries) != 4 {
+		t.Fatalf("compare entries: %v", out["entries"])
+	}
+	wantMethods := []string{"dataparallel", "expert:cnn", "mcmc", "dp"}
+	var dpSpeedup, baseSpeedup float64
+	for i, raw := range entries {
+		e := raw.(map[string]any)
+		if e["method"] != wantMethods[i] {
+			t.Fatalf("entry %d method %v, want %s", i, e["method"], wantMethods[i])
+		}
+		if e["error"] != nil {
+			t.Fatalf("entry %s: %v", wantMethods[i], e["error"])
+		}
+		sp, _ := e["speedup_vs_dp"].(float64)
+		switch wantMethods[i] {
+		case "dataparallel":
+			baseSpeedup = sp
+		case "dp":
+			dpSpeedup = sp
+		}
+		if cs, _ := e["cost_seconds"].(float64); cs <= 0 {
+			t.Fatalf("entry %s cost_seconds: %v", wantMethods[i], e["cost_seconds"])
+		}
+	}
+	if baseSpeedup != 1 {
+		t.Fatalf("baseline speedup = %v, want 1", baseSpeedup)
+	}
+	if dpSpeedup <= 1 {
+		t.Fatalf("dp speedup over data parallelism = %v, want > 1", dpSpeedup)
+	}
+
+	// An explicit method list is honored; a bad one is a 400.
+	status, out = postJSON(t, ts.URL+"/v1/compare",
+		`{"model":"alexnet","gpus":8,"methods":["dataparallel","dp"]}`)
+	if status != http.StatusOK {
+		t.Fatalf("explicit methods status %d: %v", status, out)
+	}
+	if entries := out["entries"].([]any); len(entries) != 2 {
+		t.Fatalf("explicit methods entries: %v", out["entries"])
+	}
+	if status, out = postJSON(t, ts.URL+"/v1/compare",
+		`{"model":"alexnet","gpus":8,"methods":["genetic"]}`); status != http.StatusBadRequest {
+		t.Fatalf("bad method list status %d: %v", status, out)
+	}
+}
+
+func TestSolveMethodOverWire(t *testing.T) {
+	ts := newTestServer(t)
+	status, out := postJSON(t, ts.URL+"/v1/solve",
+		`{"model":"rnnlm","gpus":8,"options":{"method":"expert:rnn"}}`)
+	if status != http.StatusOK {
+		t.Fatalf("expert solve status %d: %v", status, out)
+	}
+	if out["method"] != "expert:rnn" {
+		t.Fatalf("method = %v", out["method"])
+	}
+	doc := out["strategy"].(map[string]any)
+	if doc["method"] != "expert:rnn" {
+		t.Fatalf("document method = %v", doc["method"])
+	}
+	// Distinct methods have distinct fingerprints on the same model/machine.
+	_, dp := postJSON(t, ts.URL+"/v1/solve", `{"model":"rnnlm","gpus":8}`)
+	if dp["fingerprint"] == out["fingerprint"] {
+		t.Fatal("dp and expert:rnn share a fingerprint")
+	}
+	// Unknown methods are rejected at validation time.
+	for _, body := range []string{
+		`{"model":"rnnlm","gpus":8,"options":{"method":"genetic"}}`,
+		`{"model":"rnnlm","gpus":8,"options":{"method":"expert:gnn"}}`,
+	} {
+		if status, out := postJSON(t, ts.URL+"/v1/solve", body); status != http.StatusBadRequest {
+			t.Fatalf("solve(%s) status %d, want 400 (%v)", body, status, out)
+		}
+	}
+}
+
+func TestClientDisconnectAbortsSolve(t *testing.T) {
+	// The ROADMAP scenario: a client requests a heavy solve and goes away.
+	// The daemon must abort the underlying DP instead of finishing it for
+	// nobody — observable as the planner recording no completed solve and a
+	// follow-up identical request starting cold.
+	pl := pase.NewPlanner(pase.PlannerConfig{})
+	ts := httptest.NewServer(newServer(pl, 64, 0).mux())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/solve",
+		strings.NewReader(`{"model":"inceptionv3","gpus":32}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	// Wait for the solve to actually start server-side, then hang up.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := pl.Stats(); st.ResultMisses >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("solve never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("client request succeeded despite disconnect")
+	}
+	// The aborted solve never completes: Cancelled ticks up, Solves stays 0.
+	for {
+		st := pl.Stats()
+		if st.Cancelled >= 1 {
+			if st.Solves != 0 {
+				t.Fatalf("solve completed despite disconnect: %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never recorded the cancellation: %+v", pl.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A later identical request is cold (nothing was cached)...
+	status, out := postJSON(t, ts.URL+"/v1/solve", `{"model":"inceptionv3","gpus":32}`)
+	if status != http.StatusOK {
+		t.Fatalf("follow-up solve status %d: %v", status, out)
+	}
+	if out["cached"] != false {
+		t.Fatal("follow-up solve was served from a cache the aborted solve should not have filled")
+	}
+}
+
+func TestSolveTimeoutMapsToGatewayTimeout(t *testing.T) {
+	// A daemon-side -solve-timeout aborts the solve mid-flight and reports
+	// 504, distinguishing "the solve was too slow" from client hangups.
+	ts := httptest.NewServer(newServer(pase.NewPlanner(pase.PlannerConfig{}), 64, 20*time.Millisecond).mux())
+	defer ts.Close()
+	status, out := postJSON(t, ts.URL+"/v1/solve", `{"model":"inceptionv3","gpus":32}`)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%v)", status, out)
 	}
 }

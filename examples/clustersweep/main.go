@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -43,8 +44,10 @@ func main() {
 			})
 		}
 	}
+	// Cancelling this context (^C handling, a deadline) would abort every
+	// solve in the batch mid-DP.
 	pl := pase.NewPlanner(pase.PlannerConfig{})
-	items := pl.FindBatch(reqs)
+	items := pl.SolveBatch(context.Background(), reqs)
 
 	tb := &report.Table{
 		Title: fmt.Sprintf("%s: simulated speedup of PaSE over data parallelism", bm.Name),

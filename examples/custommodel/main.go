@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 	}
 
 	cluster := pase.RTX2080Ti(p)
-	res, err := pase.Find(g, cluster, pase.Options{})
+	res, err := pase.Solve(context.Background(), pase.SolveRequest{G: g, Spec: cluster})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"pase/internal/cost"
+	"pase/internal/itspace"
+	"pase/internal/machine"
+	"pase/internal/models"
+	"pase/internal/seq"
+)
+
+// transformerP32Model builds the paper's heaviest solve input: the
+// Transformer at p=32, the workload the ROADMAP's serving scenario needs to
+// be able to abandon when a client disconnects.
+func transformerP32Model(t *testing.T) *cost.Model {
+	t.Helper()
+	g := models.Transformer(models.BaseTransformer(64))
+	m, err := cost.NewModel(g, machine.GTX1080Ti(32), itspace.EnumPolicy{MaxSplitDims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCancelMidDPOnTransformerReturnsPromptlyWithoutLeaks(t *testing.T) {
+	// The acceptance criterion: a ctx cancelled mid-DP on Transformer p=32
+	// returns context.Canceled promptly (<100ms from the cancel) and leaves
+	// no fill goroutines behind.
+	m := transformerP32Model(t)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		err error
+		at  time.Time
+	}
+	res := make(chan outcome, 1)
+	go func() {
+		_, err := Solve(ctx, m, seq.Generate(m.G), Options{})
+		res <- outcome{err, time.Now()}
+	}()
+
+	// Let the DP get properly underway (the cold solve takes hundreds of
+	// milliseconds to seconds), then cancel it mid-fill.
+	time.Sleep(50 * time.Millisecond)
+	cancelled := time.Now()
+	cancel()
+
+	select {
+	case out := <-res:
+		if !errors.Is(out.err, context.Canceled) {
+			t.Fatalf("cancelled solve returned %v, want context.Canceled", out.err)
+		}
+		if lat := out.at.Sub(cancelled); lat > 100*time.Millisecond {
+			t.Fatalf("cancellation latency %v, want < 100ms", lat)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled solve did not return within 5s")
+	}
+
+	// No goroutine leak: the fill workers all drain before Solve returns.
+	// Allow the runtime a few GC/scheduler beats to retire exiting stacks.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d > baseline %d after cancelled solve", runtime.NumGoroutine(), before)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestPreCancelledContextFailsBeforeFilling(t *testing.T) {
+	m := transformerP32Model(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := Solve(ctx, m, seq.Generate(m.G), Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("pre-cancelled solve took %v", d)
+	}
+}
+
+func TestDeadlineExceededSurfacesAsSuch(t *testing.T) {
+	m := transformerP32Model(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := Solve(ctx, m, seq.Generate(m.G), Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestBackgroundContextSolveUnchanged(t *testing.T) {
+	// The ctx plumbing must not perturb results: Solve with Background
+	// equals FindBestStrategy on a small model.
+	g := models.AlexNet(128)
+	m, err := cost.NewModel(g, machine.GTX1080Ti(8), itspace.EnumPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := FindBestStrategy(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(context.Background(), m, seq.Generate(m.G), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("cost differs: %v vs %v", a.Cost, b.Cost)
+	}
+	for v := range a.Idx {
+		if a.Idx[v] != b.Idx[v] {
+			t.Fatalf("node %d choice differs", v)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -28,7 +29,7 @@ func TestSolveArbitraryOrderingsQuick(t *testing.T) {
 			return false
 		}
 		order := rng.Perm(g.Len())
-		res, err := Solve(m, seq.FromOrder(g, order), Options{})
+		res, err := Solve(context.Background(), m, seq.FromOrder(g, order), Options{})
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -15,11 +16,11 @@ import (
 
 func solveWith(t *testing.T, g *graph.Graph, spec machine.Spec, bo cost.BuildOptions) *Result {
 	t.Helper()
-	m, err := cost.NewModelWith(g, spec, itspace.EnumPolicy{}, bo)
+	m, err := cost.NewModelWith(context.Background(), g, spec, itspace.EnumPolicy{}, bo)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(m, seq.Generate(g), Options{})
+	res, err := Solve(context.Background(), m, seq.Generate(g), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -179,7 +180,7 @@ func TestSolveRejectsBadInput(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	g := randomDNNGraph(rng, 4)
 	m := newModel(t, g, 4)
-	if _, err := Solve(m, &seq.Sequence{Order: []int{0}}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), m, &seq.Sequence{Order: []int{0}}, Options{}); err == nil {
 		t.Fatal("short ordering accepted")
 	}
 	empty := graph.New()

@@ -1,6 +1,7 @@
 package cost
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -71,14 +72,25 @@ type Model struct {
 
 // parallelFor runs f(i) for every i in [0, n) across a GOMAXPROCS-sized
 // worker pool. Each index is handled exactly once; f must only write state
-// owned by its index.
-func parallelFor(n int, f func(i int)) {
+// owned by its index. Cancellation is polled between tasks — one task (one
+// node's enumeration, one edge's table) is the unit of promptness — and the
+// pool always drains before returning, so a cancelled build leaks no
+// goroutines. Callers observe cancellation via ctx.Err() afterwards.
+func parallelFor(ctx context.Context, n int, f func(i int)) {
+	done := ctx.Done()
 	nw := runtime.GOMAXPROCS(0)
 	if nw > n {
 		nw = n
 	}
 	if nw <= 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
 			f(i)
 		}
 		return
@@ -90,6 +102,13 @@ func parallelFor(n int, f func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -104,14 +123,17 @@ func parallelFor(n int, f func(i int)) {
 // NewModel enumerates configurations and precomputes all layer and edge cost
 // tables for the graph on the given machine, parallelizing the per-node and
 // per-edge table builds across a worker pool. Exact duplicate-signature
-// dedup (prune.go) runs by default; NewModelWith exposes the epsilon knob
-// and the pruning kill switch.
+// dedup (prune.go) runs by default; NewModelWith exposes the epsilon knob,
+// the pruning kill switch, and build cancellation.
 func NewModel(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy) (*Model, error) {
-	return NewModelWith(g, spec, pol, BuildOptions{})
+	return NewModelWith(context.Background(), g, spec, pol, BuildOptions{})
 }
 
-// NewModelWith is NewModel under explicit build options.
-func NewModelWith(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy, bo BuildOptions) (*Model, error) {
+// NewModelWith is NewModel under explicit build options and a cancellable
+// context. The build worker pool polls ctx between tasks (per node, per
+// edge), so cancelling mid-build returns ctx's error promptly — in coarse
+// per-table steps — without leaking pool goroutines.
+func NewModelWith(ctx context.Context, g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy, bo BuildOptions) (*Model, error) {
 	start := time.Now()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -131,7 +153,7 @@ func NewModelWith(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy, bo 
 	// Phase 1: configuration enumeration and layer-cost tables, one node per
 	// pool task.
 	nodeErr := make([]error, g.Len())
-	parallelFor(g.Len(), func(id int) {
+	parallelFor(ctx, g.Len(), func(id int) {
 		n := g.Nodes[id]
 		cs := itspace.Enumerate(n.Space, spec.Devices, pol)
 		if len(cs) == 0 {
@@ -145,6 +167,9 @@ func NewModelWith(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy, bo 
 		}
 		m.tl[id] = tl
 	})
+	if err := context.Cause(ctx); err != nil {
+		return nil, fmt.Errorf("cost: model build cancelled: %w", err)
+	}
 	for _, err := range nodeErr {
 		if err != nil {
 			return nil, err
@@ -175,7 +200,7 @@ func NewModelWith(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy, bo 
 	// once per row/column instead of per cell; the Ku×Kv fill is then pure
 	// arithmetic with no allocation.
 	txBW := GroupBW(spec, float64(spec.Devices))
-	parallelFor(len(m.edges), func(e int) {
+	parallelFor(ctx, len(m.edges), func(e int) {
 		u, v := m.edges[e][0], m.edges[e][1]
 		nu, nv := g.Nodes[u], g.Nodes[v]
 		out, in := nu.Output, nv.Inputs[m.inSlot[e]]
@@ -210,11 +235,17 @@ func NewModelWith(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy, bo 
 		m.tx[e] = tab
 		m.txT[e] = tabT
 	})
+	if err := context.Cause(ctx); err != nil {
+		return nil, fmt.Errorf("cost: model build cancelled: %w", err)
+	}
 	// Phase 3: config-space reduction (prune.go) — exact dedup always,
 	// epsilon dominance when requested — followed by table compaction onto
 	// the surviving interned IDs.
 	if !bo.DisablePruning {
-		m.pruneConfigs(bo.PruneEpsilon)
+		m.pruneConfigs(ctx, bo.PruneEpsilon)
+		if err := context.Cause(ctx); err != nil {
+			return nil, fmt.Errorf("cost: model build cancelled: %w", err)
+		}
 	}
 	m.BuildTime = time.Since(start)
 	return m, nil
@@ -350,16 +381,25 @@ func (m *Model) EvalIdx(idx []int) float64 {
 // enumerated list (possible for hand-written expert strategies under a
 // restrictive policy) are costed directly without memoization.
 func (m *Model) Eval(s graph.Strategy) (float64, error) {
-	if err := s.Validate(m.G, m.Spec.Devices); err != nil {
+	return EvalStrategy(m.G, m.Spec, s)
+}
+
+// EvalStrategy computes F(G, φ) for one concrete strategy directly from the
+// graph and machine — no configuration enumeration and no table build. It is
+// how the planner prices the fixed baseline strategies (data parallelism,
+// expert layouts): costing a single known strategy is O(|V| + |E|) pricing
+// calls, so baselines never pay for a Model.
+func EvalStrategy(g *graph.Graph, spec machine.Spec, s graph.Strategy) (float64, error) {
+	if err := s.Validate(g, spec.Devices); err != nil {
 		return 0, err
 	}
 	total := 0.0
-	for _, n := range m.G.Nodes {
-		total += TLSeconds(n, s[n.ID], m.Spec)
+	for _, n := range g.Nodes {
+		total += TLSeconds(n, s[n.ID], spec)
 	}
-	for e, uv := range m.edges {
+	for _, uv := range g.Edges() {
 		u, v := uv[0], uv[1]
-		total += TXSeconds(m.G.Nodes[u], m.G.Nodes[v], m.inSlot[e], s[u], s[v], m.Spec)
+		total += TXSeconds(g.Nodes[u], g.Nodes[v], g.InputIndex(u, v), s[u], s[v], spec)
 	}
 	return total, nil
 }

@@ -26,6 +26,7 @@ package cost
 // inner loops never see a pruned configuration.
 
 import (
+	"context"
 	"math"
 
 	"pase/internal/itspace"
@@ -190,14 +191,19 @@ func (m *Model) pruneNode(v int, eps float64) (keep []int, rep []int32) {
 
 // pruneConfigs runs the config-space reduction over every node and compacts
 // the model's config lists and cost tables to survivors only. Must run after
-// the full TL/TX tables are built and before the model is published.
-func (m *Model) pruneConfigs(eps float64) {
+// the full TL/TX tables are built and before the model is published. A
+// cancelled ctx stops the per-node passes between tasks; the caller
+// (NewModelWith) discards the partially-reduced model.
+func (m *Model) pruneConfigs(ctx context.Context, eps float64) {
 	n := m.G.Len()
 	keep := make([][]int, n)
 	m.repOf = make([][]int32, n)
-	parallelFor(n, func(v int) {
+	parallelFor(ctx, n, func(v int) {
 		keep[v], m.repOf[v] = m.pruneNode(v, eps)
 	})
+	if ctx.Err() != nil {
+		return
+	}
 	// Snapshot the full enumeration before compaction: IndexOf resolves
 	// pruned configurations through it, and MaxK keeps paper semantics.
 	m.fullCfgs = make([][]itspace.Config, n)
@@ -213,7 +219,7 @@ func (m *Model) pruneConfigs(eps float64) {
 		return
 	}
 	// Compact per-node config lists and TL rows.
-	parallelFor(n, func(v int) {
+	parallelFor(ctx, n, func(v int) {
 		if len(keep[v]) == len(m.cfgs[v]) {
 			return
 		}
@@ -227,7 +233,7 @@ func (m *Model) pruneConfigs(eps float64) {
 		m.tl[v] = newTL
 	})
 	// Compact per-edge TX tables: gather surviving rows and columns.
-	parallelFor(len(m.edges), func(e int) {
+	parallelFor(ctx, len(m.edges), func(e int) {
 		u, v := m.edges[e][0], m.edges[e][1]
 		ku, kv := len(m.fullCfgs[u]), m.txKv[e]
 		nu, nv := len(m.cfgs[u]), len(m.cfgs[v])

@@ -38,6 +38,10 @@ type Document struct {
 	// request that produced this strategy — the planner/daemon cache key, so
 	// consumers can correlate exported documents with served requests.
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// Method, when set, names the solve method that produced this strategy:
+	// "dp" (the paper's dynamic program), "mcmc", "dataparallel", or
+	// "expert:<family>".
+	Method string `json:"method,omitempty"`
 	// PrunedConfigs / KEffective, when set, record the config-space
 	// reduction of the solve that produced this strategy: how many candidate
 	// configurations dominance pruning removed, and the largest per-vertex

@@ -14,10 +14,12 @@
 package mcmc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"pase/internal/canon"
 	"pase/internal/cost"
 )
 
@@ -49,6 +51,19 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// CanonicalEncode writes the options that determine the chain's result into a
+// canonical fingerprint stream. Fields are normalized through the package
+// defaults first, so a zero Options and the explicit defaults hash
+// identically — the same request identity the planner's cache needs.
+func (o Options) CanonicalEncode(w *canon.Writer) {
+	o = o.withDefaults()
+	w.Label("mcmc.options/v1")
+	w.I64(o.Seed)
+	w.Int(o.MaxIters)
+	w.F64(o.Beta)
+	w.Int(o.MinIters)
+}
+
 // Result reports the best strategy the chain discovered.
 type Result struct {
 	// BestIdx is the best strategy found, as configuration indices.
@@ -62,8 +77,10 @@ type Result struct {
 }
 
 // Search runs the chain from the initial strategy (configuration indices;
-// it is not mutated).
-func Search(m *cost.Model, init []int, opts Options) (*Result, error) {
+// it is not mutated). Cancellation is polled every 1024 proposals — a chain
+// iteration is a handful of table reads, so cancelling mid-search returns
+// ctx's error within microseconds without per-proposal overhead.
+func Search(ctx context.Context, m *cost.Model, init []int, opts Options) (*Result, error) {
 	n := m.G.Len()
 	if len(init) != n {
 		return nil, fmt.Errorf("mcmc: initial strategy covers %d of %d nodes", len(init), n)
@@ -82,8 +99,16 @@ func Search(m *cost.Model, init []int, opts Options) (*Result, error) {
 	bestCost := curCost
 	lastImprove := 0
 
+	done := ctx.Done()
 	res := &Result{}
 	for it := 1; it <= opts.MaxIters; it++ {
+		if done != nil && it&1023 == 0 {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("mcmc: search cancelled: %w", context.Cause(ctx))
+			default:
+			}
+		}
 		res.Iters = it
 		v := rng.Intn(n)
 		if m.K(v) < 2 {

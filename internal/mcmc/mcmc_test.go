@@ -1,6 +1,7 @@
 package mcmc
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -58,7 +59,7 @@ func TestSearchNeverWorseThanInit(t *testing.T) {
 		t.Fatal(err)
 	}
 	initCost := m.EvalIdx(init)
-	res, err := Search(m, init, Options{Seed: 1, MaxIters: 20000})
+	res, err := Search(context.Background(), m, init, Options{Seed: 1, MaxIters: 20000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,11 +71,11 @@ func TestSearchNeverWorseThanInit(t *testing.T) {
 func TestSearchDeterministicWithSeed(t *testing.T) {
 	m := model(t, 5, 8)
 	init, _ := m.DataParallelIdx("b")
-	a, err := Search(m, init, Options{Seed: 7, MaxIters: 5000})
+	a, err := Search(context.Background(), m, init, Options{Seed: 7, MaxIters: 5000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Search(m, init, Options{Seed: 7, MaxIters: 5000})
+	b, err := Search(context.Background(), m, init, Options{Seed: 7, MaxIters: 5000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestSearchApproachesDPOptimum(t *testing.T) {
 		t.Fatal(err)
 	}
 	init, _ := m.DataParallelIdx("b")
-	res, err := Search(m, init, Options{Seed: 3, MaxIters: 200000, MinIters: 50000})
+	res, err := Search(context.Background(), m, init, Options{Seed: 3, MaxIters: 200000, MinIters: 50000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestSearchApproachesDPOptimum(t *testing.T) {
 func TestSearchStopsOnNoImprovement(t *testing.T) {
 	m := model(t, 4, 4)
 	init, _ := m.DataParallelIdx("b")
-	res, err := Search(m, init, Options{Seed: 5, MaxIters: 250000, MinIters: 100})
+	res, err := Search(context.Background(), m, init, Options{Seed: 5, MaxIters: 250000, MinIters: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,12 +120,12 @@ func TestSearchStopsOnNoImprovement(t *testing.T) {
 
 func TestSearchValidatesInput(t *testing.T) {
 	m := model(t, 4, 4)
-	if _, err := Search(m, []int{0}, Options{}); err == nil {
+	if _, err := Search(context.Background(), m, []int{0}, Options{}); err == nil {
 		t.Fatal("short init accepted")
 	}
 	bad := make([]int, m.G.Len())
 	bad[0] = 1 << 30
-	if _, err := Search(m, bad, Options{}); err == nil {
+	if _, err := Search(context.Background(), m, bad, Options{}); err == nil {
 		t.Fatal("out-of-range init accepted")
 	}
 }
@@ -132,7 +133,7 @@ func TestSearchValidatesInput(t *testing.T) {
 func TestSearchBestCostIsExact(t *testing.T) {
 	m := model(t, 6, 8)
 	init, _ := m.DataParallelIdx("b")
-	res, err := Search(m, init, Options{Seed: 11, MaxIters: 30000})
+	res, err := Search(context.Background(), m, init, Options{Seed: 11, MaxIters: 30000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func BenchmarkSearchProposals(b *testing.B) {
 	b.ResetTimer()
 	iters := 0
 	for i := 0; i < b.N; i++ {
-		res, err := Search(m, init, Options{Seed: int64(i), MaxIters: 20000, MinIters: 20000})
+		res, err := Search(context.Background(), m, init, Options{Seed: int64(i), MaxIters: 20000, MinIters: 20000})
 		if err != nil {
 			b.Fatal(err)
 		}

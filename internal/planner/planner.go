@@ -5,6 +5,21 @@
 // underlying solve (singleflight), and fans independent batch requests across
 // a worker pool that shares the caches.
 //
+// Every request flows through one context-first entry point, Solve(ctx,
+// Request), and every strategy-producing method the paper evaluates —
+// the dependent-set DP ("dp"), the FlexFlow-substitute MCMC search ("mcmc"),
+// pure data parallelism ("dataparallel"), and the expert baselines
+// ("expert:<family>") — is a Method on that request: fingerprinted with the
+// method, cached, singleflighted, and cancellable mid-solve.
+//
+// Cancellation semantics: a request's context covers only that caller's
+// interest in the result. Concurrent identical requests share one underlying
+// solve that runs on its own flight context; a follower whose ctx is
+// cancelled detaches immediately while the solve keeps running for the
+// remaining waiters, and only when the LAST waiter detaches is the flight's
+// context cancelled, aborting the model build or DP promptly (coarse-grained
+// polls in cost.NewModelWith, core.Solve, and mcmc.Search).
+//
 // The paper's thesis is that strategy search should be cheap enough to run
 // routinely; the planner makes *repeated* and *concurrent* search cheap:
 // a second identical request is a cache hit that performs no model build and
@@ -12,8 +27,11 @@
 package planner
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,11 +42,31 @@ import (
 	"pase/internal/graph"
 	"pase/internal/itspace"
 	"pase/internal/machine"
+	"pase/internal/mcmc"
 	"pase/internal/seq"
+	"pase/internal/strategies"
 )
 
 // Options tunes a solve request. It is re-exported as pase.Options.
 type Options struct {
+	// Method selects the strategy-search method: "dp" (default — the paper's
+	// dependent-set dynamic program), "mcmc" (the FlexFlow-substitute
+	// Metropolis search), "dataparallel" (the standard-practice baseline), or
+	// "expert:<family>" with family "cnn", "rnn", or "transformer" (the
+	// paper's expert baselines). All methods run through the same planner
+	// request path — fingerprinted (the method is part of the solve
+	// fingerprint), cached, and singleflighted — and fill the same Result.
+	// Empty means "dp"; "dp" itself is excluded from the fingerprint so
+	// default request identities predate the field.
+	Method string
+	// MCMC tunes the "mcmc" method (ignored by the others). The zero value
+	// is normalized to the package defaults before fingerprinting, so an
+	// unset struct and the explicit defaults share one cache identity.
+	MCMC mcmc.Options
+	// MCMCInit selects the "mcmc" chain's initial strategy, itself a baseline
+	// method name: "dataparallel" (the default) or "expert:<family>" (the
+	// paper seeds FlexFlow's search with the expert strategies).
+	MCMCInit string
 	// Policy restricts configuration enumeration (zero value: the paper's
 	// divisibility rule only).
 	Policy itspace.EnumPolicy
@@ -56,6 +94,42 @@ type Options struct {
 	PruneEpsilon float64
 }
 
+// method returns the normalized method name ("" means "dp").
+func (o Options) method() string {
+	if o.Method == "" {
+		return "dp"
+	}
+	return o.Method
+}
+
+// mcmcInit returns the normalized MCMC seed-strategy method.
+func (o Options) mcmcInit() string {
+	if o.MCMCInit == "" {
+		return "dataparallel"
+	}
+	return o.MCMCInit
+}
+
+// ValidateMethod reports whether method names a known solve method: "",
+// "dp", "mcmc", "dataparallel", or "expert:<family>" with a family from
+// strategies.Families. It is the wire-level validation hook for daemons, so
+// malformed methods are rejected before they are fingerprinted or solved.
+func ValidateMethod(method string) error {
+	switch method {
+	case "", "dp", "mcmc", "dataparallel":
+		return nil
+	}
+	if fam, ok := strings.CutPrefix(method, "expert:"); ok {
+		for _, f := range strategies.Families() {
+			if fam == f {
+				return nil
+			}
+		}
+		return fmt.Errorf("planner: unknown expert family %q (want one of %v)", fam, strategies.Families())
+	}
+	return fmt.Errorf("planner: unknown method %q (want dp, mcmc, dataparallel, or expert:<family>)", method)
+}
+
 // Result is a found strategy with its cost and search statistics. It is
 // re-exported as pase.Result.
 type Result struct {
@@ -63,28 +137,34 @@ type Result struct {
 	Strategy graph.Strategy
 	// Cost is the estimated per-step time of the strategy under the model.
 	Cost float64
+	// Method is the normalized solve method that produced this result:
+	// "dp", "mcmc", "dataparallel", or "expert:<family>".
+	Method string
 	// SearchTime is the end-to-end time of this request, including cost
 	// model construction (ModelTime) when one was built.
 	SearchTime time.Duration
 	// ModelTime is how long this request spent building the cost model;
 	// zero when the model came from cache or was supplied prebuilt.
 	ModelTime time.Duration
-	// MaxDepSize is the paper's M for the ordering used.
+	// MaxDepSize is the paper's M for the ordering used ("dp" only).
 	MaxDepSize int
-	// States is the number of (φ, C) combinations the DP evaluated.
+	// States is the number of (φ, C) combinations the DP evaluated, or the
+	// number of proposals an MCMC chain evaluated; zero for baselines.
 	States int64
 	// Cached reports that this result was served without running a new
 	// underlying solve: either a result-cache hit or a ride-along on a
 	// concurrent identical request's solve.
 	Cached bool
 	// Fingerprint is the canonical request fingerprint (hex), the planner's
-	// cache key for this request.
+	// cache key for this request. Empty for Request.Model solves, which
+	// bypass the caches (see Request.Model).
 	Fingerprint string
 	// PrunedConfigs is how many candidate configurations the model's
-	// config-space reduction removed before the DP ran.
+	// config-space reduction removed before the search ran (zero for
+	// baseline methods, which never build a model).
 	PrunedConfigs int
-	// KEffective is the largest per-vertex configuration count the DP
-	// iterated over (post-pruning).
+	// KEffective is the largest per-vertex configuration count the search
+	// iterated over (post-pruning; zero for baseline methods).
 	KEffective int
 }
 
@@ -98,13 +178,24 @@ func (r *Result) clone() *Result {
 // Request is one solve request: a graph, a machine, and solve options.
 // Graphs handed to the planner must not be mutated afterwards — the planner
 // caches models and results under the graph's fingerprint at request time.
+//
+// Model, when non-nil, supplies a prebuilt cost model and changes the
+// request's contract: the solve runs over exactly that model (G and Spec are
+// taken from it; a non-nil G must match the model's), still through the
+// unified method dispatch and fully cancellable, but it bypasses the
+// planner's caches and singleflight — the planner cannot vouch for a model
+// it did not build (unknown build options, possible mutation), so nothing is
+// fingerprinted and Result.Cached/Result.Fingerprint stay zero by design.
+// Reuse a Request.Model to amortize table construction across many solves of
+// one graph; use the cached path for everything else.
 type Request struct {
-	G    *graph.Graph
-	Spec machine.Spec
-	Opts Options
+	G     *graph.Graph
+	Spec  machine.Spec
+	Opts  Options
+	Model *cost.Model
 }
 
-// BatchItem is one outcome of FindBatch, aligned with the request slice.
+// BatchItem is one outcome of SolveBatch, aligned with the request slice.
 type BatchItem struct {
 	Result *Result
 	Err    error
@@ -118,7 +209,7 @@ type Config struct {
 	ModelCacheSize int
 	// ResultCacheSize bounds the solved-result LRU (default 128 results).
 	ResultCacheSize int
-	// BatchWorkers bounds FindBatch's request-level concurrency (default
+	// BatchWorkers bounds SolveBatch's request-level concurrency (default
 	// GOMAXPROCS).
 	BatchWorkers int
 	// DefaultPruneEpsilon is applied to requests whose Options leave
@@ -152,22 +243,29 @@ func (c Config) batchWorkers() int {
 
 // Stats is a snapshot of the planner's cache and dedup counters. "One
 // underlying solve per unique request" means Solves equals the number of
-// distinct fingerprints ever requested (while none has been evicted).
+// distinct fingerprints ever requested (while none has been evicted and no
+// flight was abandoned by every waiter).
 type Stats struct {
-	// Solves counts underlying DP runs actually performed.
+	// Solves counts underlying method runs actually performed and completed
+	// (DP solves, MCMC chains, baseline evaluations).
 	Solves int64 `json:"solves"`
 	// ModelBuilds counts cost models actually constructed.
 	ModelBuilds int64 `json:"model_builds"`
 	// ResultHits / ResultMisses count result-cache lookups.
 	ResultHits   int64 `json:"result_hits"`
 	ResultMisses int64 `json:"result_misses"`
-	// ModelHits / ModelMisses count model-cache lookups (solves only; a
-	// result-cache hit never consults the model cache).
+	// ModelHits / ModelMisses count model-cache lookups (model-building
+	// methods only; a result-cache hit never consults the model cache).
 	ModelHits   int64 `json:"model_hits"`
 	ModelMisses int64 `json:"model_misses"`
 	// DedupWaits counts requests that rode along on a concurrent identical
 	// request's in-flight solve instead of starting their own.
 	DedupWaits int64 `json:"dedup_waits"`
+	// Cancelled counts requests that returned early because their context
+	// was cancelled while waiting on a solve or model flight. A cancelled
+	// follower detaches without stopping the shared solve; the flight itself
+	// is aborted only when its last waiter cancels.
+	Cancelled int64 `json:"cancelled"`
 	// ResultEvictions / ModelEvictions count LRU evictions.
 	ResultEvictions int64 `json:"result_evictions"`
 	ModelEvictions  int64 `json:"model_evictions"`
@@ -176,16 +274,23 @@ type Stats struct {
 	PrunedConfigs int64 `json:"pruned_configs"`
 }
 
+// solveFlight is one in-flight underlying solve. waiters counts the callers
+// whose contexts are still interested; when it reaches zero the flight's
+// cancel aborts the solve.
 type solveFlight struct {
-	done chan struct{}
-	res  *Result
-	err  error
+	done    chan struct{}
+	cancel  context.CancelCauseFunc
+	waiters int
+	res     *Result
+	err     error
 }
 
 type modelFlight struct {
-	done chan struct{}
-	m    *cost.Model
-	err  error
+	done    chan struct{}
+	cancel  context.CancelCauseFunc
+	waiters int
+	m       *cost.Model
+	err     error
 }
 
 // Planner caches, deduplicates, and serves strategy solves. It is safe for
@@ -221,10 +326,12 @@ func New(cfg Config) *Planner {
 // request. The model fingerprint covers (graph, machine, enumeration policy,
 // and — only when non-zero — PruneEpsilon, which changes the built model's
 // config space); the solve fingerprint extends it with the result-relevant
-// solver options (ordering choice and the effective memory budget — Workers
-// is excluded because results are byte-identical at any worker count, and a
-// zero PruneEpsilon is excluded because exact dedup preserves results
-// byte for byte, keeping pre-existing fingerprints stable).
+// solver options: ordering choice, the effective memory budget, and — only
+// when not the default "dp" — the method with its method-specific knobs
+// (normalized mcmc.Options and the MCMC seed strategy). Workers is excluded
+// because results are byte-identical at any worker count; zero PruneEpsilon
+// and method "dp" are excluded because they reproduce pre-field results
+// byte for byte, keeping pre-existing fingerprints stable.
 func Fingerprints(req Request) (modelFP, solveFP canon.Fingerprint) {
 	w := canon.NewWriter()
 	w.Label("pase.request/v1")
@@ -243,21 +350,62 @@ func Fingerprints(req Request) (modelFP, solveFP canon.Fingerprint) {
 	}
 	w.I64(budget)
 	w.Bool(req.Opts.BreadthFirst)
+	if method := req.Opts.method(); method != "dp" {
+		w.Label("method")
+		w.Str(method)
+		if method == "mcmc" {
+			req.Opts.MCMC.CanonicalEncode(w)
+			w.Label("mcmc-init")
+			w.Str(req.Opts.mcmcInit())
+		}
+	}
 	solveFP = w.Sum()
 	return modelFP, solveFP
 }
 
-// Find solves (g, spec, opts), serving from cache when an identical request
-// has been solved before and joining an in-flight identical solve when one is
-// running. The returned Result is the caller's to keep: its Strategy is an
-// independent copy.
+// Find solves (g, spec, opts) without cancellation.
+//
+// Deprecated: Find is the pre-context entry point, kept as a thin wrapper.
+// Use Solve with a context (and, for the baselines and MCMC, a Method).
 func (p *Planner) Find(g *graph.Graph, spec machine.Spec, opts Options) (*Result, error) {
-	return p.Solve(Request{G: g, Spec: spec, Opts: opts})
+	return p.Solve(context.Background(), Request{G: g, Spec: spec, Opts: opts})
 }
 
-// Solve is Find over a Request value.
-func (p *Planner) Solve(req Request) (*Result, error) {
+// Solve serves one request: it is the single entry point every method and
+// every front end (pase.Solve, SolveBatch, cmd/pased) routes through.
+// Identical previously-solved requests are cache hits; a request identical to
+// one currently in flight joins that flight. The returned Result is the
+// caller's to keep: its Strategy is an independent copy.
+//
+// ctx cancels this caller's interest only: a joined flight keeps solving for
+// its other waiters, and the underlying solve is aborted — promptly, at the
+// pipeline's coarse cancellation polls — only when the last interested
+// caller has cancelled. The error is ctx's error (context.Canceled or
+// context.DeadlineExceeded), possibly wrapped.
+func (p *Planner) Solve(ctx context.Context, req Request) (*Result, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ValidateMethod(req.Opts.Method); err != nil {
+		return nil, err
+	}
+	if init := req.Opts.MCMCInit; init != "" {
+		// Fail fast on a bad seed strategy — the same validation Method
+		// gets — instead of discovering it after a full model build.
+		if err := ValidateMethod(init); err != nil {
+			return nil, err
+		}
+		if !strategies.IsBaselineMethod(init) {
+			return nil, fmt.Errorf("planner: MCMCInit %q is not a baseline method (want dataparallel or expert:<family>)", init)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
+	}
+	if req.Model != nil {
+		return p.solveWithModel(ctx, req, start)
+	}
 	if req.G == nil {
 		return nil, errors.New("planner: nil graph")
 	}
@@ -284,91 +432,225 @@ func (p *Planner) Solve(req Request) (*Result, error) {
 	}
 	if fl, ok := p.solveFlights[solveFP]; ok {
 		p.stats.DedupWaits++
+		fl.waiters++
 		p.mu.Unlock()
-		<-fl.done
+		return p.waitSolve(ctx, solveFP, fl, start, false)
+	}
+	p.stats.ResultMisses++
+	flightCtx, cancel := context.WithCancelCause(context.Background())
+	fl := &solveFlight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	p.solveFlights[solveFP] = fl
+	p.mu.Unlock()
+
+	// The solve runs on its own flight context so the leader can detach like
+	// any other waiter while the flight finishes for the rest; the flight
+	// context is cancelled only when the last waiter detaches (waitSolve).
+	go func() {
+		res, err := p.doSolve(flightCtx, req, modelFP, solveFP, start)
+		p.mu.Lock()
+		if p.solveFlights[solveFP] == fl {
+			delete(p.solveFlights, solveFP)
+		}
+		if err == nil {
+			p.results.Put(solveFP, res)
+		}
+		fl.res, fl.err = res, err
+		p.mu.Unlock()
+		close(fl.done)
+		cancel(nil)
+	}()
+	return p.waitSolve(ctx, solveFP, fl, start, true)
+}
+
+// waitSolve blocks until the flight completes or the caller's ctx is
+// cancelled. A cancelled caller detaches: it decrements the flight's waiter
+// count and — when it was the last — cancels the flight's context (aborting
+// the solve) and unlinks the flight so a later identical request starts
+// fresh instead of inheriting a doomed one.
+func (p *Planner) waitSolve(ctx context.Context, fp canon.Fingerprint, fl *solveFlight, start time.Time, leader bool) (*Result, error) {
+	select {
+	case <-fl.done:
 		if fl.err != nil {
 			return nil, fl.err
 		}
 		out := fl.res.clone()
-		out.Cached = true
-		out.ModelTime = 0
+		if !leader {
+			out.Cached = true
+			out.ModelTime = 0
+		}
 		out.SearchTime = time.Since(start)
 		return out, nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		fl.waiters--
+		last := fl.waiters == 0
+		if last && p.solveFlights[fp] == fl {
+			delete(p.solveFlights, fp)
+		}
+		p.stats.Cancelled++
+		p.mu.Unlock()
+		if last {
+			fl.cancel(context.Cause(ctx))
+		}
+		return nil, context.Cause(ctx)
 	}
-	p.stats.ResultMisses++
-	fl := &solveFlight{done: make(chan struct{})}
-	p.solveFlights[solveFP] = fl
-	p.mu.Unlock()
-
-	res, err := p.doSolve(req, modelFP, solveFP, start)
-
-	p.mu.Lock()
-	delete(p.solveFlights, solveFP)
-	if err == nil {
-		p.results.Put(solveFP, res)
-	}
-	fl.res, fl.err = res, err
-	p.mu.Unlock()
-	close(fl.done)
-	if err != nil {
-		return nil, err
-	}
-	return res.clone(), nil
 }
 
-// doSolve performs the one underlying solve for a fingerprint: model
-// acquisition (cached, deduplicated, or built) followed by ordering + DP.
-func (p *Planner) doSolve(req Request, modelFP, solveFP canon.Fingerprint, start time.Time) (*Result, error) {
-	m, modelTime, err := p.model(req, modelFP)
-	if err != nil {
-		return nil, err
-	}
-	var sq *seq.Sequence
-	if req.Opts.BreadthFirst {
-		sq = seq.BFS(m.G)
+// doSolve performs the one underlying solve for a fingerprint, dispatching
+// on the request's method: model acquisition (cached, deduplicated, or
+// built) followed by the method's search, or a direct baseline evaluation
+// (baselines price one fixed strategy and never need a model).
+func (p *Planner) doSolve(ctx context.Context, req Request, modelFP, solveFP canon.Fingerprint, start time.Time) (*Result, error) {
+	method := req.Opts.method()
+	var res *Result
+	var err error
+	if strategies.IsBaselineMethod(method) {
+		res, err = runBaseline(ctx, req.G, req.Spec, method, start)
 	} else {
-		sq = seq.Generate(m.G)
+		var m *cost.Model
+		var modelTime time.Duration
+		// ctx here is the solve flight's context, not a caller's: a detach
+		// on it was already counted by waitSolve, so it must not increment
+		// Stats.Cancelled a second time (countCancel false).
+		m, modelTime, err = p.model(ctx, req, modelFP, false)
+		if err != nil {
+			return nil, err
+		}
+		if method == "mcmc" {
+			res, err = runMCMC(ctx, m, req.Opts, start)
+		} else {
+			res, err = runDP(ctx, m, req.Opts, start)
+		}
+		if res != nil {
+			res.ModelTime = modelTime
+		}
 	}
-	r, err := core.Solve(m, sq, core.Options{
-		MaxTableEntries: req.Opts.MaxTableEntries,
-		Workers:         req.Opts.Workers,
-	})
 	if err != nil {
 		return nil, err
 	}
 	p.mu.Lock()
 	p.stats.Solves++
 	p.mu.Unlock()
+	res.Method = method
+	res.Fingerprint = solveFP.String()
+	return res, nil
+}
+
+// solveWithModel is the Request.Model path: the unified method dispatch over
+// a caller-supplied model, bypassing the caches (see Request.Model for the
+// contract).
+func (p *Planner) solveWithModel(ctx context.Context, req Request, start time.Time) (*Result, error) {
+	m := req.Model
+	if req.G != nil && req.G != m.G {
+		return nil, errors.New("planner: Request.Model was built for a different graph than Request.G")
+	}
+	method := req.Opts.method()
+	var res *Result
+	var err error
+	switch {
+	case strategies.IsBaselineMethod(method):
+		res, err = runBaseline(ctx, m.G, m.Spec, method, start)
+	case method == "mcmc":
+		res, err = runMCMC(ctx, m, req.Opts, start)
+	default:
+		res, err = runDP(ctx, m, req.Opts, start)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Method = method
+	return res, nil
+}
+
+// runDP runs ordering + the dependent-set DP over a built model.
+func runDP(ctx context.Context, m *cost.Model, opts Options, start time.Time) (*Result, error) {
+	var sq *seq.Sequence
+	if opts.BreadthFirst {
+		sq = seq.BFS(m.G)
+	} else {
+		sq = seq.Generate(m.G)
+	}
+	r, err := core.Solve(ctx, m, sq, core.Options{
+		MaxTableEntries: opts.MaxTableEntries,
+		Workers:         opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		Strategy:      r.Strategy,
 		Cost:          r.Cost,
 		SearchTime:    time.Since(start),
-		ModelTime:     modelTime,
 		MaxDepSize:    r.Stats.MaxDepSize,
 		States:        r.Stats.States,
-		Fingerprint:   solveFP.String(),
 		PrunedConfigs: r.Stats.PrunedConfigs,
 		KEffective:    r.Stats.KEffective,
 	}, nil
 }
 
+// runMCMC runs the FlexFlow-substitute chain over a built model, seeded by
+// the request's MCMCInit baseline (data parallelism by default).
+func runMCMC(ctx context.Context, m *cost.Model, opts Options, start time.Time) (*Result, error) {
+	initStrat, err := strategies.ForMethod(opts.mcmcInit(), m.G, m.P())
+	if err != nil {
+		return nil, fmt.Errorf("planner: mcmc init: %w", err)
+	}
+	init, err := m.IdxFromStrategy(initStrat)
+	if err != nil {
+		return nil, fmt.Errorf("planner: mcmc init strategy not enumerable under the request's policy: %w", err)
+	}
+	r, err := mcmc.Search(ctx, m, init, opts.MCMC)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Strategy:      m.StrategyFromIdx(r.BestIdx),
+		Cost:          r.BestCost,
+		SearchTime:    time.Since(start),
+		States:        int64(r.Iters),
+		PrunedConfigs: m.PrunedConfigs(),
+		KEffective:    m.MaxKEffective(),
+	}, nil
+}
+
+// runBaseline prices a fixed baseline strategy directly from the graph and
+// machine — no enumeration, no tables, microseconds of work.
+func runBaseline(ctx context.Context, g *graph.Graph, spec machine.Spec, method string, start time.Time) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
+	}
+	s, err := strategies.ForMethod(method, g, spec.Devices)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cost.EvalStrategy(g, spec, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Strategy: s, Cost: c, SearchTime: time.Since(start)}, nil
+}
+
 // Model returns the cost model for (g, spec, pol), from cache when possible.
-// Callers that need direct model access (MCMC search, strategy costing,
-// simulation baselines) share the planner's model cache this way.
-func (p *Planner) Model(g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy) (*cost.Model, error) {
+// Callers that need direct model access (strategy costing, simulation
+// baselines) share the planner's model cache this way.
+func (p *Planner) Model(ctx context.Context, g *graph.Graph, spec machine.Spec, pol itspace.EnumPolicy) (*cost.Model, error) {
 	req := Request{G: g, Spec: spec, Opts: Options{Policy: pol, PruneEpsilon: p.cfg.DefaultPruneEpsilon}}
 	if req.Opts.PruneEpsilon < 0 {
 		req.Opts.PruneEpsilon = 0
 	}
 	modelFP, _ := Fingerprints(req)
-	m, _, err := p.model(req, modelFP)
+	m, _, err := p.model(ctx, req, modelFP, true)
 	return m, err
 }
 
 // model acquires the request's cost model: cache hit, ride-along on a
-// concurrent build, or a fresh build. The returned duration is the time this
-// call spent building (zero for hits and ride-alongs).
-func (p *Planner) model(req Request, modelFP canon.Fingerprint) (*cost.Model, time.Duration, error) {
+// concurrent build, or a fresh build on the flight's own context (so a
+// cancelled waiter detaches without killing the build for others). The
+// returned duration is the build time when this call's flight built it
+// (zero for hits and ride-alongs). countCancel says whether a detach on ctx
+// represents a real caller cancelling (Planner.Model) rather than an
+// already-counted solve flight unwinding (doSolve).
+func (p *Planner) model(ctx context.Context, req Request, modelFP canon.Fingerprint, countCancel bool) (*cost.Model, time.Duration, error) {
 	p.mu.Lock()
 	if m, ok := p.models.Get(modelFP); ok {
 		p.stats.ModelHits++
@@ -376,39 +658,83 @@ func (p *Planner) model(req Request, modelFP canon.Fingerprint) (*cost.Model, ti
 		return m, 0, nil
 	}
 	if fl, ok := p.modelFlights[modelFP]; ok {
+		fl.waiters++
 		p.mu.Unlock()
-		<-fl.done
-		return fl.m, 0, fl.err
+		return p.waitModel(ctx, modelFP, fl, false, countCancel)
 	}
 	p.stats.ModelMisses++
-	fl := &modelFlight{done: make(chan struct{})}
+	buildCtx, cancel := context.WithCancelCause(context.Background())
+	fl := &modelFlight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	p.modelFlights[modelFP] = fl
 	p.mu.Unlock()
 
-	m, err := cost.NewModelWith(req.G, req.Spec, req.Opts.Policy, cost.BuildOptions{
-		PruneEpsilon: req.Opts.PruneEpsilon,
-	})
-
-	p.mu.Lock()
-	delete(p.modelFlights, modelFP)
-	if err == nil {
-		p.stats.ModelBuilds++
-		p.stats.PrunedConfigs += int64(m.PrunedConfigs())
-		p.models.Put(modelFP, m)
-	}
-	fl.m, fl.err = m, err
-	p.mu.Unlock()
-	close(fl.done)
-	if err != nil {
-		return nil, 0, err
-	}
-	return m, m.BuildTime, nil
+	go func() {
+		m, err := cost.NewModelWith(buildCtx, req.G, req.Spec, req.Opts.Policy, cost.BuildOptions{
+			PruneEpsilon: req.Opts.PruneEpsilon,
+		})
+		p.mu.Lock()
+		if p.modelFlights[modelFP] == fl {
+			delete(p.modelFlights, modelFP)
+		}
+		if err == nil {
+			p.stats.ModelBuilds++
+			p.stats.PrunedConfigs += int64(m.PrunedConfigs())
+			p.models.Put(modelFP, m)
+		}
+		fl.m, fl.err = m, err
+		p.mu.Unlock()
+		close(fl.done)
+		cancel(nil)
+	}()
+	return p.waitModel(ctx, modelFP, fl, true, countCancel)
 }
 
-// FindBatch solves independent requests concurrently across the planner's
-// worker pool, sharing cached models and deduplicating identical entries down
-// to one solve. The returned slice is aligned with reqs.
+// waitModel is waitSolve's analogue for model-build flights.
+func (p *Planner) waitModel(ctx context.Context, fp canon.Fingerprint, fl *modelFlight, leader, countCancel bool) (*cost.Model, time.Duration, error) {
+	select {
+	case <-fl.done:
+		if fl.err != nil {
+			return nil, 0, fl.err
+		}
+		if leader {
+			return fl.m, fl.m.BuildTime, nil
+		}
+		return fl.m, 0, nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		fl.waiters--
+		last := fl.waiters == 0
+		if last && p.modelFlights[fp] == fl {
+			delete(p.modelFlights, fp)
+		}
+		if countCancel {
+			p.stats.Cancelled++
+		}
+		p.mu.Unlock()
+		if last {
+			fl.cancel(context.Cause(ctx))
+		}
+		return nil, 0, context.Cause(ctx)
+	}
+}
+
+// FindBatch solves independent requests without cancellation.
+//
+// Deprecated: FindBatch is the pre-context entry point, kept as a thin
+// wrapper. Use SolveBatch with a context.
 func (p *Planner) FindBatch(reqs []Request) []BatchItem {
+	return p.SolveBatch(context.Background(), reqs)
+}
+
+// SolveBatch solves independent requests concurrently across the planner's
+// worker pool, sharing cached models and deduplicating identical entries down
+// to one solve. The returned slice is aligned with reqs. Cancelling ctx
+// cancels every entry: in-flight entries detach (aborting solves no other
+// caller wants) and unstarted entries fail immediately with ctx's error.
+func (p *Planner) SolveBatch(ctx context.Context, reqs []Request) []BatchItem {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]BatchItem, len(reqs))
 	nw := p.cfg.batchWorkers()
 	if nw > len(reqs) {
@@ -416,7 +742,7 @@ func (p *Planner) FindBatch(reqs []Request) []BatchItem {
 	}
 	if nw <= 1 {
 		for i := range reqs {
-			out[i].Result, out[i].Err = p.Solve(reqs[i])
+			out[i].Result, out[i].Err = p.Solve(ctx, reqs[i])
 		}
 		return out
 	}
@@ -431,7 +757,7 @@ func (p *Planner) FindBatch(reqs []Request) []BatchItem {
 				if i >= len(reqs) {
 					return
 				}
-				out[i].Result, out[i].Err = p.Solve(reqs[i])
+				out[i].Result, out[i].Err = p.Solve(ctx, reqs[i])
 			}
 		}()
 	}

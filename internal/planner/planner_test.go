@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -19,7 +20,7 @@ func directSolve(t *testing.T, req Request) *core.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := core.Solve(m, seq.Generate(m.G), core.Options{
+	r, err := core.Solve(context.Background(), m, seq.Generate(m.G), core.Options{
 		MaxTableEntries: req.Opts.MaxTableEntries,
 		Workers:         req.Opts.Workers,
 	})
@@ -68,7 +69,7 @@ func TestConcurrentRequestsMatchDirectFindWithOneSolvePerFingerprint(t *testing.
 			default:
 				req = rnnReq(8)
 			}
-			results[i], errs[i] = p.Solve(req)
+			results[i], errs[i] = p.Solve(context.Background(), req)
 		}(i)
 	}
 	wg.Wait()
@@ -104,7 +105,7 @@ func TestConcurrentRequestsMatchDirectFindWithOneSolvePerFingerprint(t *testing.
 
 func TestCacheHitPerformsNoNewWork(t *testing.T) {
 	p := New(Config{})
-	first, err := p.Solve(alexReq(8))
+	first, err := p.Solve(context.Background(), alexReq(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestCacheHitPerformsNoNewWork(t *testing.T) {
 		t.Fatal("first solve reported no model-build time")
 	}
 	before := p.Stats()
-	second, err := p.Solve(alexReq(8))
+	second, err := p.Solve(context.Background(), alexReq(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,12 +144,12 @@ func TestCacheHitPerformsNoNewWork(t *testing.T) {
 
 func TestResultsAreIndependentCopies(t *testing.T) {
 	p := New(Config{})
-	a, err := p.Solve(alexReq(8))
+	a, err := p.Solve(context.Background(), alexReq(8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	a.Strategy[0][0] = -99 // caller mutates their copy
-	b, err := p.Solve(alexReq(8))
+	b, err := p.Solve(context.Background(), alexReq(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestLRUEvictionIsDeterministic(t *testing.T) {
 	p := New(Config{ResultCacheSize: 2, ModelCacheSize: 1})
 	reqA, reqB, reqC := alexReq(8), alexReq(16), rnnReq(8)
 	for _, r := range []Request{reqA, reqB, reqC} {
-		if _, err := p.Solve(r); err != nil {
+		if _, err := p.Solve(context.Background(), r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -184,7 +185,7 @@ func TestLRUEvictionIsDeterministic(t *testing.T) {
 
 	// B then C: hits, no new solves. Their recency order is now B < C.
 	for _, r := range []Request{reqB, reqC} {
-		res, err := p.Solve(r)
+		res, err := p.Solve(context.Background(), r)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -196,13 +197,13 @@ func TestLRUEvictionIsDeterministic(t *testing.T) {
 		t.Fatalf("hits re-solved: Solves = %d", st.Solves)
 	}
 	// A was evicted: requesting it re-solves and evicts B (LRU), not C.
-	if res, err := p.Solve(reqA); err != nil || res.Cached {
+	if res, err := p.Solve(context.Background(), reqA); err != nil || res.Cached {
 		t.Fatalf("A should re-solve (err=%v, cached=%v)", err, res.Cached)
 	}
-	if res, err := p.Solve(reqC); err != nil || !res.Cached {
+	if res, err := p.Solve(context.Background(), reqC); err != nil || !res.Cached {
 		t.Fatalf("C should still be cached (err=%v)", err)
 	}
-	if res, err := p.Solve(reqB); err != nil || res.Cached {
+	if res, err := p.Solve(context.Background(), reqB); err != nil || res.Cached {
 		t.Fatalf("B should have been evicted by A (err=%v, cached=%v)", err, res.Cached)
 	}
 	if st := p.Stats(); st.Solves != 5 {
@@ -295,12 +296,12 @@ func TestDefaultPruneEpsilonResolvesIntoFingerprintAndSolve(t *testing.T) {
 	req := alexReq(8)
 
 	exact := New(Config{})
-	rExact, err := exact.Solve(req)
+	rExact, err := exact.Solve(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	aggr := New(Config{DefaultPruneEpsilon: 0.05})
-	rAggr, err := aggr.Solve(req)
+	rAggr, err := aggr.Solve(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func TestDefaultPruneEpsilonResolvesIntoFingerprintAndSolve(t *testing.T) {
 	}
 	over := req
 	over.Opts.PruneEpsilon = 0.05
-	rOver, err := exact.Solve(over)
+	rOver, err := exact.Solve(context.Background(), over)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -82,3 +82,15 @@ func Speedup(g *graph.Graph, s, base graph.Strategy, spec machine.Spec, batch in
 	}
 	return rs.Throughput / rb.Throughput, nil
 }
+
+// SpeedupOf computes the Fig. 6 speedup from two already-simulated steps —
+// the step-time ratio of base over s. Comparing N strategies against one
+// baseline this way runs N+1 simulations instead of 2N (Speedup re-simulates
+// its baseline on every call), and the ratio is batch-invariant: the batch
+// size cancels out of the throughput quotient.
+func SpeedupOf(s, base Result) float64 {
+	if s.StepSeconds <= 0 {
+		return 0
+	}
+	return base.StepSeconds / s.StepSeconds
+}

@@ -14,6 +14,7 @@ package strategies
 
 import (
 	"fmt"
+	"strings"
 
 	"pase/internal/cost"
 	"pase/internal/graph"
@@ -127,6 +128,10 @@ func meshSplit(p int) (m, n int) {
 	return p / n, n
 }
 
+// Families lists the expert-strategy families Expert accepts, in a stable
+// order — the validation domain of the planner's "expert:<family>" method.
+func Families() []string { return []string{"cnn", "rnn", "transformer"} }
+
 // Expert selects the paper's expert strategy for a model family. Families:
 // "cnn" → OWT, "rnn" → RNNExpert, "transformer" → TransformerExpert.
 func Expert(family string, g *graph.Graph, p int) (graph.Strategy, error) {
@@ -140,6 +145,26 @@ func Expert(family string, g *graph.Graph, p int) (graph.Strategy, error) {
 	default:
 		return nil, fmt.Errorf("strategies: unknown model family %q", family)
 	}
+}
+
+// ForMethod resolves a baseline method name — the strategy-valued methods of
+// the planner's unified solve API — to its strategy: "dataparallel" is pure
+// data parallelism, "expert:<family>" is the paper's expert baseline for
+// family "cnn", "rnn", or "transformer".
+func ForMethod(method string, g *graph.Graph, p int) (graph.Strategy, error) {
+	switch {
+	case method == "dataparallel":
+		return DataParallel(g, p), nil
+	case strings.HasPrefix(method, "expert:"):
+		return Expert(strings.TrimPrefix(method, "expert:"), g, p)
+	}
+	return nil, fmt.Errorf("strategies: %q is not a baseline method (want dataparallel or expert:<family>)", method)
+}
+
+// IsBaselineMethod reports whether method names a fixed strategy this package
+// provides (no search involved): "dataparallel" or "expert:<family>".
+func IsBaselineMethod(method string) bool {
+	return method == "dataparallel" || strings.HasPrefix(method, "expert:")
 }
 
 // Cost evaluates a strategy under the model, returning F(G, φ).

@@ -6,33 +6,66 @@
 // search standing in for FlexFlow), the paper's four benchmark models, and a
 // cluster step-time simulator for end-to-end comparisons.
 //
-// Quick start:
+// Quick start — every solve is one context-first request served by a
+// Planner; the Method field selects how the strategy is found ("dp", the
+// paper's dynamic program, is the default):
 //
+//	ctx := context.Background()
 //	g := pase.AlexNet(128)
-//	res, err := pase.Find(g, pase.GTX1080Ti(32), pase.Options{})
+//	res, err := pase.Solve(ctx, pase.SolveRequest{G: g, Spec: pase.GTX1080Ti(32)})
 //	// res.Strategy[nodeID] is the per-layer parallelization configuration.
 //
-// Find is served by a package-default Planner: requests are canonically
-// fingerprinted, solved results and built cost models are cached in bounded
-// LRUs, and concurrent identical requests share one underlying solve. For an
-// explicitly sized planner (a long-lived service, a sweep):
+// The context cancels a solve mid-flight — a deadline or a disconnected
+// client aborts the DP within milliseconds:
+//
+//	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+//	defer cancel()
+//	res, err = pase.Solve(ctx, pase.SolveRequest{G: g, Spec: spec})
+//	// err wraps context.DeadlineExceeded if the budget ran out.
+//
+// The paper's baselines are Methods on the same request path — cached,
+// deduplicated, and cancellable like any other solve — and Compare runs them
+// all on one graph, reporting each method's simulated speedup over data
+// parallelism (the paper's Fig. 6 as a call):
+//
+//	res, err = pase.Solve(ctx, pase.SolveRequest{
+//		G: g, Spec: spec, Opts: pase.Options{Method: "expert:cnn"},
+//	})
+//	cmp, err := pase.Compare(ctx, pase.CompareRequest{
+//		G: g, Spec: spec, Batch: 128, Family: "cnn",
+//	})
+//	for _, e := range cmp.Entries { // dataparallel, expert:cnn, mcmc, dp
+//		fmt.Println(e.Method, e.Result.Cost, e.Speedup)
+//	}
+//
+// Package-level Solve/SolveBatch/Compare are served by a package-default
+// Planner: requests are canonically fingerprinted (method included), solved
+// results and built cost models are cached in bounded LRUs, and concurrent
+// identical requests share one underlying solve whose flight outlives any
+// single caller's cancellation. For an explicitly sized planner (a
+// long-lived service, a sweep):
 //
 //	pl := pase.NewPlanner(pase.PlannerConfig{ResultCacheSize: 1024})
-//	res, err := pl.Find(g, pase.GTX1080Ti(32), pase.Options{})  // solves
-//	res, err = pl.Find(g, pase.GTX1080Ti(32), pase.Options{})   // cache hit
-//	items := pl.FindBatch([]pase.SolveRequest{{G: g1, Spec: spec}, {G: g2, Spec: spec}})
-//	fmt.Println(pl.Stats()) // solves, hits, dedup waits, evictions
+//	res, err := pl.Solve(ctx, pase.SolveRequest{G: g, Spec: spec}) // solves
+//	res, err = pl.Solve(ctx, pase.SolveRequest{G: g, Spec: spec})  // cache hit
+//	items := pl.SolveBatch(ctx, []pase.SolveRequest{{G: g1, Spec: spec}, {G: g2, Spec: spec}})
+//	fmt.Println(pl.Stats()) // solves, hits, dedup waits, cancellations
 //
 // The same planner powers cmd/pased, an HTTP JSON daemon serving
-// POST /v1/solve, POST /v1/batch, GET /v1/healthz, and GET /v1/stats.
+// POST /v1/solve, POST /v1/batch, POST /v1/compare, GET /v1/healthz, and
+// GET /v1/stats, with every solve tied to its request's context.
+//
+// Find, FindWithModel, and the one-off baseline helpers from earlier
+// releases remain as thin deprecated wrappers over this request path.
 //
 // See DESIGN.md for the solve-pipeline architecture (enumeration → ordering
 // → cost tables → dynamic program → back-substitution), its parallelism and
 // memory-liveness design, and the serving layer (fingerprinting, cache
-// keying, singleflight, batch fan-out).
+// keying, singleflight, cancellation, batch fan-out).
 package pase
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -136,18 +169,26 @@ var (
 	BenchmarkByName = models.ByName
 )
 
-// Options tunes Find. See planner.Options for field documentation: Policy
-// restricts enumeration, MaxTableEntries bounds DP memory, BreadthFirst
-// selects the naive ordering baseline, Workers sets DP fill parallelism, and
-// PruneEpsilon enables epsilon-dominance config pruning (cost within
-// (1+ε)² of optimal) on top of the always-on exact dedup.
+// Options tunes a solve request. See planner.Options for field
+// documentation: Method selects the strategy-search method ("dp" default,
+// "mcmc", "dataparallel", "expert:<family>"), Policy restricts enumeration,
+// MaxTableEntries bounds DP memory, BreadthFirst selects the naive ordering
+// baseline, Workers sets DP fill parallelism, and PruneEpsilon enables
+// epsilon-dominance config pruning (cost within (1+ε)² of optimal) on top
+// of the always-on exact dedup.
 type Options = planner.Options
 
 // Result is a found strategy with its cost and search statistics, including
-// end-to-end SearchTime, the ModelTime share spent building cost tables,
-// whether the planner served it from cache (Cached, Fingerprint), and the
-// config-space reduction stats (PrunedConfigs, KEffective).
+// the Method that produced it, end-to-end SearchTime, the ModelTime share
+// spent building cost tables, whether the planner served it from cache
+// (Cached, Fingerprint), and the config-space reduction stats
+// (PrunedConfigs, KEffective).
 type Result = planner.Result
+
+// ValidateMethod reports whether a method string is one the solve API
+// serves: "", "dp", "mcmc", "dataparallel", or "expert:<family>". Daemons
+// use it to reject malformed wire requests before fingerprinting.
+func ValidateMethod(method string) error { return planner.ValidateMethod(method) }
 
 // Planner is the serving layer above the solve pipeline: bounded LRU caches
 // for built cost models and solved results keyed by canonical request
@@ -162,22 +203,35 @@ type PlannerConfig = planner.Config
 // PlannerStats is a snapshot of a Planner's cache and dedup counters.
 type PlannerStats = planner.Stats
 
-// SolveRequest is one entry of Planner.FindBatch.
+// SolveRequest is one solve request: graph, machine, options (including the
+// Method), and optionally a prebuilt Model (which bypasses the planner's
+// caches — see planner.Request for the contract).
 type SolveRequest = planner.Request
 
-// BatchItem is one outcome of Planner.FindBatch.
+// BatchItem is one outcome of Planner.SolveBatch.
 type BatchItem = planner.BatchItem
+
+// CompareRequest asks Compare for all solve methods on one graph.
+type CompareRequest = planner.CompareRequest
+
+// Comparison is the paper's method comparison (Table II / Fig. 6): one
+// entry per method with its cost, simulated step, and speedup over data
+// parallelism.
+type Comparison = planner.Comparison
+
+// CompareEntry is one method's outcome within a Comparison.
+type CompareEntry = planner.CompareEntry
 
 // NewPlanner returns a Planner sized by cfg (zero value: defaults — 16
 // models, 128 results, GOMAXPROCS batch workers).
 func NewPlanner(cfg PlannerConfig) *Planner { return planner.New(cfg) }
 
-// defaultPlanner serves package-level Find calls so that repeated and
-// concurrent identical requests anywhere in a process are cached and
-// deduplicated without any setup.
+// defaultPlanner serves package-level Solve/Compare/Find calls so that
+// repeated and concurrent identical requests anywhere in a process are
+// cached and deduplicated without any setup.
 var defaultPlanner = planner.New(planner.Config{})
 
-// DefaultPlanner returns the package-default planner behind Find, for
+// DefaultPlanner returns the package-default planner behind Solve, for
 // callers that want its stats or batch API without constructing their own.
 func DefaultPlanner() *Planner { return defaultPlanner }
 
@@ -197,59 +251,77 @@ func NewModel(g *Graph, spec Machine, pol EnumPolicy) (*Model, error) {
 // dedup (the unpruned oracle the pruning property tests compare against).
 type ModelBuildOptions = cost.BuildOptions
 
-// NewModelWithOptions is NewModel under explicit build options.
-func NewModelWithOptions(g *Graph, spec Machine, pol EnumPolicy, bo ModelBuildOptions) (*Model, error) {
-	return cost.NewModelWith(g, spec, pol, bo)
+// NewModelWithOptions is NewModel under explicit build options and a
+// cancellable context: the build worker pool polls ctx between per-node and
+// per-edge table tasks, so cancelling mid-build returns promptly.
+func NewModelWithOptions(ctx context.Context, g *Graph, spec Machine, pol EnumPolicy, bo ModelBuildOptions) (*Model, error) {
+	return cost.NewModelWith(ctx, g, spec, pol, bo)
 }
 
-// Find runs the paper's FINDBESTSTRATEGY on the graph for the machine,
-// returning the minimum-cost strategy under the analytic cost model. It is a
-// thin wrapper over the package-default Planner: identical repeated requests
-// are cache hits, and concurrent identical requests share one solve.
-// SearchTime is end to end (model construction included); ModelTime isolates
-// the model-build share.
+// Solve serves one request through the package-default Planner — the
+// unified, cancellable entry point behind every method ("dp" by default;
+// "mcmc", "dataparallel", "expert:<family>" via Options.Method). Identical
+// repeated requests are cache hits, concurrent identical requests share one
+// underlying solve, and cancelling ctx detaches this caller immediately
+// while a shared solve finishes for its remaining waiters (the solve itself
+// is aborted when the last waiter cancels). SearchTime is end to end (model
+// construction included); ModelTime isolates the model-build share.
 //
-// Do not mutate g after calling Find: the planner caches cost models and
-// results under the graph's fingerprint at request time, and a later
+// Do not mutate req.G after calling Solve: the planner caches cost models
+// and results under the graph's fingerprint at request time, and a later
 // mutation would desynchronize cached state from the fingerprint. Build a
 // new graph instead (construction is microseconds; identical content hashes
 // to the same cache entries).
-func Find(g *Graph, spec Machine, opts Options) (*Result, error) {
-	return defaultPlanner.Find(g, spec, opts)
+func Solve(ctx context.Context, req SolveRequest) (*Result, error) {
+	return defaultPlanner.Solve(ctx, req)
 }
 
-// FindWithModel is Find over a prebuilt model, bypassing the planner's
-// caches (reuse the model to amortize cost-table construction across calls).
-// SearchTime covers ordering + DP only; ModelTime is zero because this call
-// built no model.
+// SolveBatch solves independent requests concurrently through the
+// package-default Planner, sharing cached models and deduplicating identical
+// entries; cancelling ctx cancels every entry.
+func SolveBatch(ctx context.Context, reqs []SolveRequest) []BatchItem {
+	return defaultPlanner.SolveBatch(ctx, reqs)
+}
+
+// Compare runs every solve method on one graph through the package-default
+// Planner and simulates each result — the paper's Table II / Fig. 6 as one
+// cancellable call. Each entry reports the method's cost, simulated training
+// step, and speedup over data parallelism.
+func Compare(ctx context.Context, req CompareRequest) (*Comparison, error) {
+	return defaultPlanner.Compare(ctx, req)
+}
+
+// Find runs the paper's FINDBESTSTRATEGY on the graph for the machine,
+// returning the minimum-cost strategy under the analytic cost model.
+//
+// Deprecated: Find is the pre-context entry point, kept as a thin wrapper
+// over Solve with a background context. Use Solve so the request can be
+// cancelled and can select a Method.
+func Find(g *Graph, spec Machine, opts Options) (*Result, error) {
+	return defaultPlanner.Solve(context.Background(), SolveRequest{G: g, Spec: spec, Opts: opts})
+}
+
+// FindWithModel is Solve over a prebuilt model (reuse the model to amortize
+// cost-table construction across calls). It routes through the unified
+// request path — Method dispatch and cancellation included — but bypasses
+// the planner's caches, singleflight, and fingerprinting: the planner cannot
+// vouch for a model it did not build, so Result.Cached and
+// Result.Fingerprint are always zero on this path, by contract. SearchTime
+// covers the search only; ModelTime is zero because this call built no
+// model.
+//
+// Deprecated: use Solve with SolveRequest.Model, which is this call with a
+// caller-supplied context.
 func FindWithModel(m *Model, opts Options) (*Result, error) {
-	start := time.Now()
-	var sq *seq.Sequence
-	if opts.BreadthFirst {
-		sq = seq.BFS(m.G)
-	} else {
-		sq = seq.Generate(m.G)
-	}
-	res, err := core.Solve(m, sq, core.Options{
-		MaxTableEntries: opts.MaxTableEntries,
-		Workers:         opts.Workers,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Strategy:      res.Strategy,
-		Cost:          res.Cost,
-		SearchTime:    time.Since(start),
-		MaxDepSize:    res.Stats.MaxDepSize,
-		States:        res.Stats.States,
-		PrunedConfigs: res.Stats.PrunedConfigs,
-		KEffective:    res.Stats.KEffective,
-	}, nil
+	return defaultPlanner.Solve(context.Background(), SolveRequest{Model: m, Opts: opts})
 }
 
 // DataParallelStrategy returns the standard-practice baseline: every layer's
 // batch dimension split across all devices.
+//
+// Deprecated: use Solve with Options{Method: "dataparallel"}, which returns
+// the same strategy with its cost, cached and deduplicated like any other
+// request — or Compare for the full method comparison.
 func DataParallelStrategy(g *Graph, p int) Strategy {
 	return strategies.DataParallel(g, p)
 }
@@ -257,6 +329,10 @@ func DataParallelStrategy(g *Graph, p int) Strategy {
 // ExpertStrategy returns the paper's expert-designed baseline for a model
 // family: "cnn" (one weird trick), "rnn" (data+pipeline), or "transformer"
 // (Mesh-TensorFlow hybrid).
+//
+// Deprecated: use Solve with Options{Method: "expert:<family>"}, which
+// returns the same strategy with its cost, cached and deduplicated like any
+// other request — or Compare for the full method comparison.
 func ExpertStrategy(family string, g *Graph, p int) (Strategy, error) {
 	return strategies.Expert(family, g, p)
 }
@@ -265,20 +341,25 @@ func ExpertStrategy(family string, g *Graph, p int) (Strategy, error) {
 type MCMCOptions = mcmc.Options
 
 // MCMCSearch runs the FlexFlow-substitute MCMC strategy search from an
-// initial strategy, using the same cost model as Find.
+// explicit initial strategy, using the same cost model as the DP.
+//
+// Deprecated: use Solve with Options{Method: "mcmc"} (seed selection via
+// Options.MCMC and Options.MCMCInit), which is cancellable and served
+// through the planner's caches.
 func MCMCSearch(m *Model, init Strategy, opts MCMCOptions) (*Result, error) {
+	start := time.Now()
 	idx, err := m.IdxFromStrategy(init)
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	r, err := mcmc.Search(m, idx, opts)
+	r, err := mcmc.Search(context.Background(), m, idx, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Strategy:   m.StrategyFromIdx(r.BestIdx),
 		Cost:       r.BestCost,
+		Method:     "mcmc",
 		SearchTime: time.Since(start),
 		States:     int64(r.Iters),
 	}, nil
