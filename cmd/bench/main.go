@@ -19,6 +19,10 @@
 //
 //   - TableI_PaSE/<model>/p=<p>: model build + FINDBESTSTRATEGY, the paper's
 //     Table I strategy-search time.
+//   - ModelBuild/<model>/p=<p>: cost-model construction alone (table builds
+//     + config-space reduction), with the structural-sharing stats
+//     (vertex/edge classes, resident and shared table bytes) as extras —
+//     build time and bytes tracked separately from solve time.
 //   - Fig5_GenerateSeq/<model>: the GENERATESEQ ordering alone.
 //   - SolveWorkers/workers=<n>: the DP solve on a prebuilt Transformer p=32
 //     model across worker counts.
@@ -130,8 +134,8 @@ func run(cfg config) error {
 	// iterated over.
 	for _, bm := range pase.Benchmarks() {
 		g := bm.Build(bm.Batch)
-		var states int64
-		var kFull, kEff, pruned int
+		var states, tableBytes int64
+		var kFull, kEff, pruned, vClasses, eClasses int
 		ns, err := measure(reps, func() error {
 			m, err := pase.NewModel(g, pase.GTX1080Ti(p), bm.Policy(p))
 			if err != nil {
@@ -143,6 +147,7 @@ func run(cfg config) error {
 			}
 			states = res.States
 			kFull, kEff, pruned = m.MaxK(), res.KEffective, res.PrunedConfigs
+			vClasses, eClasses, tableBytes = m.VertexClasses(), m.EdgeClasses(), m.TableBytes()
 			return nil
 		})
 		if err != nil {
@@ -157,6 +162,41 @@ func run(cfg config) error {
 				"k_full":         float64(kFull),
 				"k_effective":    float64(kEff),
 				"pruned_configs": float64(pruned),
+				"vertex_classes": float64(vClasses),
+				"edge_classes":   float64(eClasses),
+				"table_bytes":    float64(tableBytes),
+			},
+		})
+	}
+
+	// Model construction alone, per paper benchmark: the structural-sharing
+	// layer makes this (and the bytes it holds) a tracked trajectory metric
+	// separate from solve time.
+	for _, bm := range pase.Benchmarks() {
+		g := bm.Build(bm.Batch)
+		var vClasses, eClasses int
+		var tableBytes, sharedBytes int64
+		ns, err := measure(reps, func() error {
+			m, err := pase.NewModel(g, pase.GTX1080Ti(p), bm.Policy(p))
+			if err != nil {
+				return err
+			}
+			vClasses, eClasses = m.VertexClasses(), m.EdgeClasses()
+			tableBytes, sharedBytes = m.TableBytes(), m.SharedTableBytes()
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("ModelBuild %s: %w", bm.Name, err)
+		}
+		rep.Results = append(rep.Results, Result{
+			Name:    fmt.Sprintf("ModelBuild/%s/p=%d", bm.Name, p),
+			NsPerOp: ns,
+			Reps:    reps,
+			Extra: map[string]float64{
+				"vertex_classes":     float64(vClasses),
+				"edge_classes":       float64(eClasses),
+				"table_bytes":        float64(tableBytes),
+				"shared_table_bytes": float64(sharedBytes),
 			},
 		})
 	}
@@ -261,18 +301,20 @@ func run(cfg config) error {
 	return nil
 }
 
-// regressionCheck compares this run's Transformer Table I solve against the
-// -against trajectory and fails on a regression beyond the allowed factor —
-// the CI gate that keeps the serving-latency floor from silently eroding.
-// A missing file or benchmark is a skip (the gate cannot block a fresh
-// checkout), but an existing file that fails to parse is an error — a
-// corrupt BENCH_solver.json must not silently disable the gate. The
-// baseline is the latest entry from a matching environment (same GOOS and
+// regressionCheck compares this run's gated benchmarks — the Transformer
+// Table I solve AND the Transformer model build — against the -against
+// trajectory and fails on a regression beyond the allowed factor: the CI
+// gate that keeps the serving-latency floor and the structural-sharing
+// model-build win from silently eroding. A missing file or a benchmark
+// absent from every trajectory entry is a skip (the gate cannot block a
+// fresh checkout, and older entries predate the ModelBuild family), but an
+// existing file that fails to parse is an error — a corrupt
+// BENCH_solver.json must not silently disable the gate. The baseline per
+// benchmark is the latest entry from a matching environment (same GOOS and
 // GOMAXPROCS) when one exists; otherwise the latest entry overall, with a
 // cross-environment warning (the factor plus the CI retry absorb runner
 // differences).
 func regressionCheck(rep Report, against string, factor float64, p int) error {
-	name := fmt.Sprintf("TableI_PaSE/Transformer/p=%d", p)
 	if _, err := os.Stat(against); os.IsNotExist(err) {
 		fmt.Fprintf(os.Stderr, "bench: no trajectory at %s; skipping regression check\n", against)
 		return nil
@@ -281,6 +323,19 @@ func regressionCheck(rep Report, against string, factor float64, p int) error {
 	if err != nil {
 		return fmt.Errorf("bench: -against %s: %w", against, err)
 	}
+	for _, name := range []string{
+		fmt.Sprintf("TableI_PaSE/Transformer/p=%d", p),
+		fmt.Sprintf("ModelBuild/Transformer/p=%d", p),
+	} {
+		if err := regressionCheckOne(rep, traj, against, name, factor); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// regressionCheckOne gates one benchmark name against the trajectory.
+func regressionCheckOne(rep Report, traj Trajectory, against, name string, factor float64) error {
 	find := func(rs []Result) (float64, bool) {
 		for _, r := range rs {
 			if r.Name == name {
@@ -290,7 +345,8 @@ func regressionCheck(rep Report, against string, factor float64, p int) error {
 		return 0, false
 	}
 	// Latest entry that measured this benchmark (older entries may have run
-	// at a different -p), preferring one recorded in this environment.
+	// at a different -p or predate the family), preferring one recorded in
+	// this environment.
 	pick := func(matchEnv bool) (float64, string, bool) {
 		for i := len(traj.Entries) - 1; i >= 0; i-- {
 			e := traj.Entries[i]
@@ -312,8 +368,8 @@ func regressionCheck(rep Report, against string, factor float64, p int) error {
 			// reverted multiplicative speedup without failing every run on
 			// a slower runner generation.
 			factor *= 2
-			fmt.Fprintf(os.Stderr, "bench: no %s/GOMAXPROCS=%d trajectory entry; comparing across environments (%s entry, limit relaxed to %.2fx)\n",
-				rep.GOOS, rep.GOMAXPROCS, baseDate, factor)
+			fmt.Fprintf(os.Stderr, "bench: no %s/GOMAXPROCS=%d trajectory entry for %s; comparing across environments (%s entry, limit relaxed to %.2fx)\n",
+				rep.GOOS, rep.GOMAXPROCS, name, baseDate, factor)
 		}
 	}
 	if !ok {

@@ -91,7 +91,13 @@ func run(model string, gpus int, mach, method string, timeout time.Duration, com
 	fmt.Printf("%s on %d × %s (batch %d, method %s)\n", bm.Name, gpus, spec.Name, bm.Batch, res.Method)
 	fmt.Printf("search time: %s (model %s)   cost: %.4g s/step   M=%d   states=%d\n",
 		report.Duration(res.SearchTime), report.Duration(res.ModelTime), res.Cost, res.MaxDepSize, res.States)
-	fmt.Printf("config space: K-effective=%d (%d configs pruned)\n\n", res.KEffective, res.PrunedConfigs)
+	fmt.Printf("config space: K-effective=%d (%d configs pruned)\n", res.KEffective, res.PrunedConfigs)
+	if res.VertexClasses > 0 {
+		fmt.Printf("structure: %d vertex classes / %d nodes, %d edge classes, tables %.1f MB resident (%.1f MB shared)\n",
+			res.VertexClasses, g.Len(), res.EdgeClasses,
+			float64(res.TableBytes)/1e6, float64(res.SharedTableBytes)/1e6)
+	}
+	fmt.Println()
 
 	tb := &report.Table{
 		Title:  fmt.Sprintf("Best strategy (paper Table II layout, p=%d)", gpus),
@@ -126,6 +132,10 @@ func run(model string, gpus int, mach, method string, timeout time.Duration, com
 		doc.Method = res.Method
 		doc.PrunedConfigs = res.PrunedConfigs
 		doc.KEffective = res.KEffective
+		doc.VertexClasses = res.VertexClasses
+		doc.EdgeClasses = res.EdgeClasses
+		doc.TableBytes = res.TableBytes
+		doc.SharedTableBytes = res.SharedTableBytes
 		f, err := os.Create(exportPath)
 		if err != nil {
 			return err

@@ -120,6 +120,14 @@ type solveResponse struct {
 	// per-vertex configuration count the DP iterated over.
 	PrunedConfigs int `json:"pruned_configs"`
 	KEffective    int `json:"k_effective"`
+	// VertexClasses / EdgeClasses / TableBytes / SharedTableBytes report
+	// the structural sharing of the model behind this solve: distinct
+	// vertex and edge cost tables built, the resident table footprint, and
+	// the bytes sharing saved versus a per-occurrence build.
+	VertexClasses    int   `json:"vertex_classes"`
+	EdgeClasses      int   `json:"edge_classes"`
+	TableBytes       int64 `json:"table_bytes"`
+	SharedTableBytes int64 `json:"shared_table_bytes"`
 }
 
 type batchRequest struct {
@@ -324,18 +332,26 @@ func toResponse(req pase.SolveRequest, model string, res *pase.Result) (*solveRe
 	doc.Method = res.Method
 	doc.PrunedConfigs = res.PrunedConfigs
 	doc.KEffective = res.KEffective
+	doc.VertexClasses = res.VertexClasses
+	doc.EdgeClasses = res.EdgeClasses
+	doc.TableBytes = res.TableBytes
+	doc.SharedTableBytes = res.SharedTableBytes
 	return &solveResponse{
-		Strategy:      doc,
-		Method:        res.Method,
-		CostSeconds:   res.Cost,
-		SearchMs:      float64(res.SearchTime.Nanoseconds()) / 1e6,
-		ModelMs:       float64(res.ModelTime.Nanoseconds()) / 1e6,
-		Cached:        res.Cached,
-		Fingerprint:   res.Fingerprint,
-		States:        res.States,
-		MaxDepSize:    res.MaxDepSize,
-		PrunedConfigs: res.PrunedConfigs,
-		KEffective:    res.KEffective,
+		Strategy:         doc,
+		Method:           res.Method,
+		CostSeconds:      res.Cost,
+		SearchMs:         float64(res.SearchTime.Nanoseconds()) / 1e6,
+		ModelMs:          float64(res.ModelTime.Nanoseconds()) / 1e6,
+		Cached:           res.Cached,
+		Fingerprint:      res.Fingerprint,
+		States:           res.States,
+		MaxDepSize:       res.MaxDepSize,
+		PrunedConfigs:    res.PrunedConfigs,
+		KEffective:       res.KEffective,
+		VertexClasses:    res.VertexClasses,
+		EdgeClasses:      res.EdgeClasses,
+		TableBytes:       res.TableBytes,
+		SharedTableBytes: res.SharedTableBytes,
 	}, nil
 }
 

@@ -89,6 +89,14 @@ func TestSolveRoundTripAndCache(t *testing.T) {
 	if pc, ok := first["pruned_configs"].(float64); !ok || pc <= 0 {
 		t.Fatalf("pruned_configs missing or non-positive: %v", first["pruned_configs"])
 	}
+	// Structural-sharing stats ride along too: class counts are positive and
+	// the resident table footprint is non-zero for any model-building solve.
+	if vc, ok := first["vertex_classes"].(float64); !ok || vc <= 0 {
+		t.Fatalf("vertex_classes missing or non-positive: %v", first["vertex_classes"])
+	}
+	if tb, ok := first["table_bytes"].(float64); !ok || tb <= 0 {
+		t.Fatalf("table_bytes missing or non-positive: %v", first["table_bytes"])
+	}
 
 	status, second := postJSON(t, ts.URL+"/v1/solve", req)
 	if status != http.StatusOK || second["cached"] != true {
@@ -243,6 +251,17 @@ func TestStats(t *testing.T) {
 	}
 	if out["requests"] != float64(2) {
 		t.Fatalf("requests = %v, want 2", out["requests"])
+	}
+	// Structural-sharing counters: one model build happened, so class counts
+	// are positive and bounded by the graph size.
+	if vc, ok := pl["vertex_classes"].(float64); !ok || vc <= 0 {
+		t.Fatalf("vertex_classes missing or non-positive: %v", pl["vertex_classes"])
+	}
+	if ec, ok := pl["edge_classes"].(float64); !ok || ec <= 0 {
+		t.Fatalf("edge_classes missing or non-positive: %v", pl["edge_classes"])
+	}
+	if _, ok := pl["shared_table_bytes"].(float64); !ok {
+		t.Fatalf("shared_table_bytes missing: %v", pl["shared_table_bytes"])
 	}
 }
 

@@ -51,12 +51,12 @@ func main() {
 
 	tb := &report.Table{
 		Title: fmt.Sprintf("%s: simulated speedup of PaSE over data parallelism", bm.Name),
-		Header: []string{"p", "K-eff", "1080Ti step (ms)", "1080Ti speedup",
+		Header: []string{"p", "K-eff", "classes V/E", "shared MB", "1080Ti step (ms)", "1080Ti speedup",
 			"2080Ti step (ms)", "2080Ti speedup"},
 	}
 	for pi, p := range ps {
 		var vals []any
-		var kEffs []string
+		var kEffs, classes, shared []string
 		for mi := range makers {
 			item := items[pi*len(makers)+mi]
 			if item.Err != nil {
@@ -66,6 +66,11 @@ func main() {
 			// Dedup compares machine-priced cost signatures, so K-effective
 			// can differ between the two GPU generations at the same p.
 			kEffs = append(kEffs, fmt.Sprintf("%d", res.KEffective))
+			// Structural sharing: repeated layers collapse to a handful of
+			// vertex/edge table classes, and the shared bytes are what the
+			// sweep point did NOT have to build or hold per occurrence.
+			classes = append(classes, fmt.Sprintf("%d/%d", res.VertexClasses, res.EdgeClasses))
+			shared = append(shared, fmt.Sprintf("%.1f", float64(res.SharedTableBytes)/1e6))
 			dp := pase.DataParallelStrategy(g, p)
 			step, err := pase.Simulate(g, res.Strategy, spec, bm.Batch)
 			if err != nil {
@@ -77,14 +82,18 @@ func main() {
 			}
 			vals = append(vals, fmt.Sprintf("%.2f", step.StepSeconds*1e3), fmt.Sprintf("%.2fx", sp))
 		}
-		kEff := kEffs[0]
-		for _, k := range kEffs[1:] {
-			if k != kEff {
-				kEff = strings.Join(kEffs, "/") // per-machine values differ
-				break
+		// Collapse per-machine columns that agree; join them when the two
+		// GPU generations differ.
+		squash := func(vs []string, sep string) string {
+			out := vs[0]
+			for _, v := range vs[1:] {
+				if v != out {
+					return strings.Join(vs, sep)
+				}
 			}
+			return out
 		}
-		tb.Add(append([]any{p, kEff}, vals...)...)
+		tb.Add(append([]any{p, squash(kEffs, "/"), squash(classes, " "), squash(shared, "/")}, vals...)...)
 	}
 	if err := tb.Render(os.Stdout); err != nil {
 		log.Fatal(err)

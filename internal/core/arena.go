@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Arena pools the solver's large scratch allocations — DP cost tables,
+// choice tables, and the factored-scan side tables — in power-of-two size
+// classes backed by sync.Pool. A cold Transformer p=32 solve allocates
+// hundreds of megabytes of tables that die within the solve; when many
+// solves share one Arena (the planner gives every Planner one, so cache-miss
+// solves and SolveBatch/Compare fan-outs share it), those buffers are
+// recycled instead of re-allocated and re-faulted per solve.
+//
+// Contract: buffers come back from Get uncleared — callers must fully
+// overwrite them before reading (every DP table fill writes its whole index
+// range, so the solver never observes stale bytes). Put is optional; a
+// buffer that is never returned is simply garbage collected. A nil *Arena is
+// valid and allocates directly, so the zero Options still works.
+//
+// Capacities are rounded up to the next power of two so a recycled buffer
+// always satisfies any request in its size class (identical repeated solves
+// — the planner's common case — hit the same classes exactly). The rounding
+// means resident bytes can reach up to 2x the requested lengths, on top of
+// whatever the pools retain between solves; Options.MaxTableEntries counts
+// requested entries, so treat the budget as a working-set bound, not an RSS
+// guarantee, when an arena is attached.
+type Arena struct {
+	f64 [maxSizeClass]sync.Pool // *[]float64, cap ≥ 1<<class
+	i32 [maxSizeClass]sync.Pool // *[]int32, cap ≥ 1<<class
+	// gets/hits count Get calls and the subset served by a recycled buffer,
+	// for tests and diagnostics.
+	gets atomic.Int64
+	hits atomic.Int64
+}
+
+// maxSizeClass bounds the class index: 2^47 float64 entries is far beyond
+// any MaxTableEntries a process could hold.
+const maxSizeClass = 48
+
+// NewArena returns an empty arena. Safe for concurrent use.
+func NewArena() *Arena { return &Arena{} }
+
+// sizeClass returns the smallest c with 1<<c ≥ n (n ≥ 1).
+func sizeClass(n int64) int {
+	return bits.Len64(uint64(n - 1))
+}
+
+// GetF64 returns a length-n float64 buffer with undefined contents.
+func (a *Arena) GetF64(n int64) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if a == nil {
+		return make([]float64, n)
+	}
+	c := sizeClass(n)
+	a.gets.Add(1)
+	if c < maxSizeClass {
+		if v := a.f64[c].Get(); v != nil {
+			a.hits.Add(1)
+			return (*(v.(*[]float64)))[:n]
+		}
+		return make([]float64, n, int64(1)<<c)
+	}
+	return make([]float64, n)
+}
+
+// PutF64 recycles a buffer previously returned by GetF64.
+func (a *Arena) PutF64(s []float64) {
+	if a == nil || cap(s) == 0 {
+		return
+	}
+	// File under the largest class the capacity fully covers, so a Get from
+	// that class always receives cap ≥ its requested length.
+	c := bits.Len64(uint64(cap(s))) - 1
+	if c < maxSizeClass {
+		s = s[:0]
+		a.f64[c].Put(&s)
+	}
+}
+
+// GetI32 returns a length-n int32 buffer with undefined contents.
+func (a *Arena) GetI32(n int64) []int32 {
+	if n == 0 {
+		return nil
+	}
+	if a == nil {
+		return make([]int32, n)
+	}
+	c := sizeClass(n)
+	a.gets.Add(1)
+	if c < maxSizeClass {
+		if v := a.i32[c].Get(); v != nil {
+			a.hits.Add(1)
+			return (*(v.(*[]int32)))[:n]
+		}
+		return make([]int32, n, int64(1)<<c)
+	}
+	return make([]int32, n)
+}
+
+// PutI32 recycles a buffer previously returned by GetI32.
+func (a *Arena) PutI32(s []int32) {
+	if a == nil || cap(s) == 0 {
+		return
+	}
+	c := bits.Len64(uint64(cap(s))) - 1
+	if c < maxSizeClass {
+		s = s[:0]
+		a.i32[c].Put(&s)
+	}
+}
+
+// Counters reports how many buffer requests the arena served and how many
+// were satisfied by a recycled buffer.
+func (a *Arena) Counters() (gets, hits int64) {
+	if a == nil {
+		return 0, 0
+	}
+	return a.gets.Load(), a.hits.Load()
+}

@@ -48,6 +48,15 @@ type Options struct {
 	// mode matching the paper's single-threaded prototype. Results are
 	// byte-identical at any worker count.
 	Workers int
+	// Arena, when non-nil, recycles the solve's large table buffers (cost
+	// tables, choice tables, factored-scan side tables) across solves
+	// sharing the arena. The planner passes its per-Planner arena here so
+	// cache-miss solves and batch fan-outs stop re-allocating hundreds of
+	// megabytes per solve. Nil allocates directly; results are identical
+	// either way. Arena buffers are rounded up to power-of-two capacities,
+	// so actual resident bytes can exceed the MaxTableEntries accounting by
+	// up to 2x (see Arena).
+	Arena *Arena
 }
 
 func (o Options) maxEntries() int64 {
@@ -68,8 +77,95 @@ func (o Options) workers() int {
 }
 
 // parallelThreshold is the table size below which a chunked parallel fill is
-// not worth the goroutine overhead.
+// not worth the dispatch overhead.
 const parallelThreshold = 4096
+
+// fillChunkEntries caps one chunk of a parallel table fill at 16K entries:
+// the chunk's output (16K float64 costs + 16K int32 choices ≈ 192 KB) plus
+// the kv-long input rows it folds stays L2-resident per core, and a big fill
+// splits into many more chunks than workers so the atomic work-claiming
+// balances stragglers instead of one static split.
+const fillChunkEntries = 1 << 14
+
+// minChunkEntries floors the chunk size so the per-chunk odometer
+// positioning (O(|D(i)| + subsets)) stays amortized to noise.
+const minChunkEntries = 1 << 10
+
+// fillChunkSize picks the chunk length for a table of the given size: aim
+// for several chunks per worker, within [minChunkEntries, fillChunkEntries].
+func fillChunkSize(total int64, workers int) int64 {
+	c := (total + int64(workers)*4 - 1) / (int64(workers) * 4)
+	if c > fillChunkEntries {
+		c = fillChunkEntries
+	}
+	if c < minChunkEntries {
+		c = minChunkEntries
+	}
+	return c
+}
+
+// fillPool is the solve-lifetime worker pool the chunked table fills
+// dispatch to: nw−1 helper goroutines started once per Solve (the caller's
+// goroutine is the nw-th worker), instead of spawning fresh goroutines for
+// every vertex's fill.
+type fillPool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+func newFillPool(helpers int) *fillPool {
+	p := &fillPool{jobs: make(chan func(), helpers)}
+	for i := 0; i < helpers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// close drains and stops the helpers. Safe only after every dispatched job
+// has completed (each fill waits for its own jobs before returning).
+func (p *fillPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// fillScratch is one chunk's odometer state — digit vector, per-subset
+// bases, current row slices, edge offsets — pooled so the many chunks of a
+// big fill don't each allocate four slices. Contents are undefined on Get;
+// every fill fully initializes what it reads (digits are zeroed explicitly:
+// masked scans only position a subset of them).
+type fillScratch struct {
+	digits []int
+	rbase  []int64
+	rows   [][]float64
+	eoff   []int
+}
+
+var fillScratchPool = sync.Pool{New: func() any { return new(fillScratch) }}
+
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+func getFillScratch(ndep, nrefs, nrows, ne int) *fillScratch {
+	sc := fillScratchPool.Get().(*fillScratch)
+	sc.digits = grown(sc.digits, ndep)
+	sc.rbase = grown(sc.rbase, nrefs)
+	sc.rows = grown(sc.rows, nrows)
+	sc.eoff = grown(sc.eoff, ne)
+	for k := range sc.digits {
+		sc.digits[k] = 0
+	}
+	return sc
+}
 
 // cancelCheckMask sets the cancellation polling granularity inside a table
 // fill: every (cancelCheckMask+1) table entries each fill goroutine does one
@@ -107,6 +203,16 @@ type Stats struct {
 	// iterated over — the model's post-pruning K (the paper's K is the
 	// pre-pruning maximum).
 	KEffective int
+	// VertexClasses / EdgeClasses are the model's structural-sharing class
+	// counts: how many distinct vertex and edge cost tables the build
+	// actually constructed (repeated layers alias the same tables).
+	VertexClasses int
+	EdgeClasses   int
+	// TableBytes is the model's resident cost-table footprint (shared
+	// slices counted once); SharedTableBytes is what interning saved versus
+	// a per-occurrence build.
+	TableBytes       int64
+	SharedTableBytes int64
 }
 
 // Result is a solved strategy.
@@ -193,6 +299,20 @@ func Solve(ctx context.Context, m *cost.Model, sq *seq.Sequence, opts Options) (
 	st.MaxDepSize = sq.MaxDepSize()
 	st.PrunedConfigs = m.PrunedConfigs()
 	st.KEffective = m.MaxKEffective()
+	st.VertexClasses = m.VertexClasses()
+	st.EdgeClasses = m.EdgeClasses()
+	st.TableBytes = m.TableBytes()
+	st.SharedTableBytes = m.SharedTableBytes()
+
+	// The fill pool lives for the whole solve: every vertex's chunked table
+	// fill dispatches to the same nw−1 helpers (the calling goroutine is the
+	// nw-th worker), and the arena recycles the tables those fills write.
+	arena := opts.Arena
+	var pool *fillPool
+	if nw > 1 {
+		pool = newFillPool(nw - 1)
+		defer pool.close()
+	}
 
 	tbl := make([][]float64, n)  // per position; freed at last reader
 	choice := make([][]int32, n) // argmin config per (position, φ); kept for back-substitution
@@ -324,8 +444,8 @@ func Solve(ctx context.Context, m *cost.Model, sq *seq.Sequence, opts Options) (
 
 		kv := m.K(v)
 		tlv := m.TLRow(v)
-		t := make([]float64, tblSize)
-		ch := make([]int32, tblSize)
+		t := arena.GetF64(tblSize)
+		ch := arena.GetI32(tblSize)
 
 		// Flat strided kernel wiring. rowRefs are the subsets containing v:
 		// their lookups form a contiguous kv-long row per φ (vStride 1).
@@ -421,10 +541,14 @@ func Solve(ctx context.Context, m *cost.Model, sq *seq.Sequence, opts Options) (
 		// disjoint and all shared state is read-only, so chunks run in
 		// parallel with byte-identical results at any worker count.
 		fillScan := func(lo, hi int64, mask []bool, outT []float64, outC []int32, withCells bool) {
-			digits := make([]int, len(dep))
-			rbase := make([]int64, len(refs))
-			rows := make([][]float64, nRows)
-			eoff := make([]int, len(erefs))
+			// A chunk claimed after cancellation returns before paying the
+			// odometer positioning.
+			if done != nil && cancelled.Load() {
+				return
+			}
+			sc := getFillScratch(len(dep), len(refs), nRows, len(erefs))
+			defer fillScratchPool.Put(sc)
+			digits, rbase, rows, eoff := sc.digits, sc.rbase, sc.rows, sc.eoff
 			// Position the incremental state at flat index lo of the masked
 			// odometer (first digit fastest).
 			rem := lo
@@ -563,28 +687,46 @@ func Solve(ctx context.Context, m *cost.Model, sq *seq.Sequence, opts Options) (
 			}
 		}
 
+		// parChunk splits a fill's flat index range into contiguous
+		// fixed-size chunks claimed off an atomic counter by the pool's
+		// helpers plus the calling goroutine. Chunks write disjoint output
+		// ranges, so which worker runs which chunk is irrelevant to the
+		// bytes produced — results stay byte-identical at every worker
+		// count — while the dynamic claiming keeps all cores busy even when
+		// one chunk's scan is slower than another's.
 		parChunk := func(total int64, f func(lo, hi int64)) {
 			if nw <= 1 || total < parallelThreshold {
 				f(0, total)
 				return
 			}
-			var wg sync.WaitGroup
-			chunk := (total + int64(nw) - 1) / int64(nw)
-			for w := 0; w < nw; w++ {
-				lo := int64(w) * chunk
-				hi := lo + chunk
-				if hi > total {
-					hi = total
-				}
-				if lo >= hi {
-					break
-				}
-				wg.Add(1)
-				go func(lo, hi int64) {
-					defer wg.Done()
+			chunk := fillChunkSize(total, nw)
+			var next atomic.Int64
+			run := func() {
+				for {
+					lo := (next.Add(1) - 1) * chunk
+					if lo >= total {
+						return
+					}
+					hi := lo + chunk
+					if hi > total {
+						hi = total
+					}
 					f(lo, hi)
-				}(lo, hi)
+				}
 			}
+			helpers := nw - 1
+			if nc := (total + chunk - 1) / chunk; int64(helpers) > nc-1 {
+				helpers = int(nc - 1)
+			}
+			var wg sync.WaitGroup
+			wg.Add(helpers)
+			for w := 0; w < helpers; w++ {
+				pool.jobs <- func() {
+					defer wg.Done()
+					run()
+				}
+			}
+			run()
 			wg.Wait()
 		}
 
@@ -600,8 +742,8 @@ func Solve(ctx context.Context, m *cost.Model, sq *seq.Sequence, opts Options) (
 			if live := (liveUnits + 2) / 3; live > st.PeakLiveEntries {
 				st.PeakLiveEntries = live
 			}
-			minf := make([]float64, subSize)
-			argc := make([]int32, subSize)
+			minf := arena.GetF64(subSize)
+			argc := arena.GetI32(subSize)
 			parChunk(subSize, func(lo, hi int64) {
 				fillScan(lo, hi, used, minf, argc, false)
 			})
@@ -611,8 +753,12 @@ func Solve(ctx context.Context, m *cost.Model, sq *seq.Sequence, opts Options) (
 			// Phase B: broadcast the scan results over the ignored digits,
 			// adding the φ-only cell lookups.
 			parChunk(tblSize, func(lo, hi int64) {
-				digits := make([]int, len(dep))
-				rbase := make([]int64, len(refs))
+				if done != nil && cancelled.Load() {
+					return
+				}
+				sc := getFillScratch(len(dep), len(refs), 0, 0)
+				defer fillScratchPool.Put(sc)
+				digits, rbase := sc.digits, sc.rbase
 				rem := lo
 				subFlat := int64(0)
 				for k := 0; k < len(dep); k++ {
@@ -667,6 +813,8 @@ func Solve(ctx context.Context, m *cost.Model, sq *seq.Sequence, opts Options) (
 				}
 			})
 			liveUnits -= 3 * subSize // minf/argc die with the fills
+			arena.PutF64(minf)
+			arena.PutI32(argc)
 			st.States += subSize*int64(kv) + tblSize
 		} else {
 			parChunk(tblSize, func(lo, hi int64) {
@@ -685,10 +833,12 @@ func Solve(ctx context.Context, m *cost.Model, sq *seq.Sequence, opts Options) (
 			finalCost = t[0]
 		}
 
-		// Retire cost tables whose last reader was this position, and reset
-		// the dense digit map for the next vertex.
+		// Retire cost tables whose last reader was this position — returning
+		// them to the arena for the next vertex's fill — and reset the dense
+		// digit map for the next vertex.
 		for _, j := range freeAt[i] {
 			liveUnits -= 2 * int64(len(tbl[j]))
+			arena.PutF64(tbl[j])
 			tbl[j] = nil
 		}
 		for _, d := range dep {
@@ -742,6 +892,17 @@ func Solve(ctx context.Context, m *cost.Model, sq *seq.Sequence, opts Options) (
 	// inconsistent pair.
 	if ev := m.EvalIdx(idx); math.Abs(ev-res.Cost) > 1e-6*math.Max(1, math.Abs(ev)) {
 		return nil, fmt.Errorf("core: extracted strategy costs %v but DP minimum is %v", ev, res.Cost)
+	}
+	// The result no longer references any DP table: hand every surviving
+	// buffer back to the arena for the next solve. (Error paths skip this
+	// and let the GC collect instead.)
+	for i := 0; i < n; i++ {
+		if tbl[i] != nil {
+			arena.PutF64(tbl[i])
+			tbl[i] = nil
+		}
+		arena.PutI32(choice[i])
+		choice[i] = nil
 	}
 	return res, nil
 }

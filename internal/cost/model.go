@@ -64,6 +64,14 @@ type Model struct {
 	repOf    [][]int32
 	pruned   int
 
+	// Structural-sharing state (intern.go): distinct vertex/edge class
+	// counts, the resident bytes of the (aliased) cost tables, and the bytes
+	// sharing saved versus a per-occurrence build.
+	vertexClasses    int
+	edgeClasses      int
+	tableBytes       int64
+	sharedTableBytes int64
+
 	edges   [][2]int
 	edgeIdx map[[2]int]int
 	inSlot  []int       // input slot of v fed by each edge
@@ -150,31 +158,6 @@ func NewModelWith(ctx context.Context, g *graph.Graph, spec machine.Spec, pol it
 		tl:      make([][]float64, g.Len()),
 		edgeIdx: map[[2]int]int{},
 	}
-	// Phase 1: configuration enumeration and layer-cost tables, one node per
-	// pool task.
-	nodeErr := make([]error, g.Len())
-	parallelFor(ctx, g.Len(), func(id int) {
-		n := g.Nodes[id]
-		cs := itspace.Enumerate(n.Space, spec.Devices, pol)
-		if len(cs) == 0 {
-			nodeErr[id] = fmt.Errorf("cost: node %d (%s) admits no configuration", n.ID, n.Name)
-			return
-		}
-		m.cfgs[id] = cs
-		tl := make([]float64, len(cs))
-		for i, c := range cs {
-			tl[i] = TLSeconds(n, c, spec)
-		}
-		m.tl[id] = tl
-	})
-	if err := context.Cause(ctx); err != nil {
-		return nil, fmt.Errorf("cost: model build cancelled: %w", err)
-	}
-	for _, err := range nodeErr {
-		if err != nil {
-			return nil, err
-		}
-	}
 	m.edges = g.Edges()
 	m.tx = make([][]float64, len(m.edges))
 	m.txT = make([][]float64, len(m.edges))
@@ -184,7 +167,6 @@ func NewModelWith(ctx context.Context, g *graph.Graph, spec machine.Spec, pol it
 	for i, e := range m.edges {
 		m.edgeIdx[e] = i
 		m.inSlot[i] = g.InputIndex(e[0], e[1])
-		m.txKv[i] = len(m.cfgs[e[1]])
 		if e[0] == e[1] {
 			m.inc[e[0]] = append(m.inc[e[0]], IncEdge{E: i, Other: e[0], Self: true})
 		} else {
@@ -192,15 +174,62 @@ func NewModelWith(ctx context.Context, g *graph.Graph, spec machine.Spec, pol it
 			m.inc[e[1]] = append(m.inc[e[1]], IncEdge{E: i, Other: e[0]})
 		}
 	}
-	// Phase 2: every per-edge TX table, one edge per pool task. The solver
-	// and the MCMC search then only read plain slices — no lazy memoization
-	// left to race on, and no per-vertex materialization pass in the DP.
-	// Per edge, the tensor extents are fixed and each side's granularity
-	// vector depends only on its own configuration, so they are computed
-	// once per row/column instead of per cell; the Ku×Kv fill is then pure
-	// arithmetic with no allocation.
+	// Phase 0: structural sharing plan (intern.go). Nodes with identical
+	// cost-relevant content form one vertex class; edges with identical
+	// endpoint classes and input slot form one edge class. Every table below
+	// is built once per class and aliased to all members — byte-identical to
+	// the per-occurrence build the DisableInterning oracle runs, minus the
+	// repeated work and memory.
+	plan := m.buildInternPlan()
+	if bo.DisableInterning {
+		plan = singletonPlan(g.Len(), len(m.edges))
+	}
+	// Phase 1: configuration enumeration and layer-cost tables, one vertex
+	// class per pool task.
+	nodeErr := make([]error, len(plan.vReps))
+	classCfgs := make([][]itspace.Config, len(plan.vReps))
+	classTL := make([][]float64, len(plan.vReps))
+	parallelFor(ctx, len(plan.vReps), func(ci int) {
+		n := g.Nodes[plan.vReps[ci]]
+		cs := itspace.Enumerate(n.Space, spec.Devices, pol)
+		if len(cs) == 0 {
+			nodeErr[ci] = fmt.Errorf("cost: node %d (%s) admits no configuration", n.ID, n.Name)
+			return
+		}
+		classCfgs[ci] = cs
+		tl := make([]float64, len(cs))
+		for i, c := range cs {
+			tl[i] = TLSeconds(n, c, spec)
+		}
+		classTL[ci] = tl
+	})
+	if err := context.Cause(ctx); err != nil {
+		return nil, fmt.Errorf("cost: model build cancelled: %w", err)
+	}
+	for _, err := range nodeErr {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for id := range m.cfgs {
+		m.cfgs[id] = classCfgs[plan.vClass[id]]
+		m.tl[id] = classTL[plan.vClass[id]]
+	}
+	for i, e := range m.edges {
+		m.txKv[i] = len(m.cfgs[e[1]])
+	}
+	// Phase 2: every TX table, one edge class per pool task. The solver and
+	// the MCMC search then only read plain slices — no lazy memoization left
+	// to race on, and no per-vertex materialization pass in the DP. Per
+	// edge, the tensor extents are fixed and each side's granularity vector
+	// depends only on its own configuration, so they are computed once per
+	// row/column instead of per cell; the Ku×Kv fill is then pure arithmetic
+	// with no allocation.
 	txBW := GroupBW(spec, float64(spec.Devices))
-	parallelFor(ctx, len(m.edges), func(e int) {
+	classTab := make([][]float64, len(plan.eReps))
+	classTabT := make([][]float64, len(plan.eReps))
+	parallelFor(ctx, len(plan.eReps), func(ci int) {
+		e := plan.eReps[ci]
 		u, v := m.edges[e][0], m.edges[e][1]
 		nu, nv := g.Nodes[u], g.Nodes[v]
 		out, in := nu.Output, nv.Inputs[m.inSlot[e]]
@@ -232,21 +261,28 @@ func NewModelWith(ctx context.Context, g *graph.Graph, spec machine.Spec, pol it
 				tabT[cv*ku+cu] = c
 			}
 		}
-		m.tx[e] = tab
-		m.txT[e] = tabT
+		classTab[ci] = tab
+		classTabT[ci] = tabT
 	})
 	if err := context.Cause(ctx); err != nil {
 		return nil, fmt.Errorf("cost: model build cancelled: %w", err)
 	}
+	for e := range m.edges {
+		m.tx[e] = classTab[plan.eClass[e]]
+		m.txT[e] = classTabT[plan.eClass[e]]
+	}
 	// Phase 3: config-space reduction (prune.go) — exact dedup always,
 	// epsilon dominance when requested — followed by table compaction onto
-	// the surviving interned IDs.
+	// the surviving interned IDs. Both run per class: members of a prune
+	// class have byte-identical cost signatures, so they keep the same
+	// survivors and share the compacted tables.
 	if !bo.DisablePruning {
-		m.pruneConfigs(ctx, bo.PruneEpsilon)
+		m.pruneConfigs(ctx, bo.PruneEpsilon, plan)
 		if err := context.Cause(ctx); err != nil {
 			return nil, fmt.Errorf("cost: model build cancelled: %w", err)
 		}
 	}
+	m.computeTableStats(plan)
 	m.BuildTime = time.Since(start)
 	return m, nil
 }

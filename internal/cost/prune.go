@@ -44,6 +44,11 @@ type BuildOptions struct {
 	// dedup that is otherwise always on. The unpruned model is the oracle
 	// the pruning property tests compare against.
 	DisablePruning bool
+	// DisableInterning skips structural sharing (intern.go): every node and
+	// edge gets its own table build and backing slice, exactly as if the
+	// graph had no repeated structure. Solves over the interned model are
+	// byte-identical to this oracle; the property tests pin that.
+	DisableInterning bool
 }
 
 // sigVisit streams node v's cost signature entries for its ci-th
@@ -189,20 +194,31 @@ func (m *Model) pruneNode(v int, eps float64) (keep []int, rep []int32) {
 	return keep, rep
 }
 
-// pruneConfigs runs the config-space reduction over every node and compacts
-// the model's config lists and cost tables to survivors only. Must run after
-// the full TL/TX tables are built and before the model is published. A
-// cancelled ctx stops the per-node passes between tasks; the caller
+// pruneConfigs runs the config-space reduction and compacts the model's
+// config lists and cost tables to survivors only. Must run after the full
+// TL/TX tables are built and before the model is published. Both the
+// signature analysis and the compaction run once per structural-sharing
+// class (intern.go): members of a prune class see byte-identical signatures,
+// so they keep identical survivor sets and alias the compacted tables —
+// interning composes with the reduction instead of being undone by it. A
+// cancelled ctx stops the per-class passes between tasks; the caller
 // (NewModelWith) discards the partially-reduced model.
-func (m *Model) pruneConfigs(ctx context.Context, eps float64) {
+func (m *Model) pruneConfigs(ctx context.Context, eps float64, plan *internPlan) {
 	n := m.G.Len()
-	keep := make([][]int, n)
-	m.repOf = make([][]int32, n)
-	parallelFor(ctx, n, func(v int) {
-		keep[v], m.repOf[v] = m.pruneNode(v, eps)
+	rClass, rReps := m.pruneClasses(plan)
+	classKeep := make([][]int, len(rReps))
+	classRep := make([][]int32, len(rReps))
+	parallelFor(ctx, len(rReps), func(ci int) {
+		classKeep[ci], classRep[ci] = m.pruneNode(rReps[ci], eps)
 	})
 	if ctx.Err() != nil {
 		return
+	}
+	keep := make([][]int, n)
+	m.repOf = make([][]int32, n)
+	for v := 0; v < n; v++ {
+		keep[v] = classKeep[rClass[v]]
+		m.repOf[v] = classRep[rClass[v]]
 	}
 	// Snapshot the full enumeration before compaction: IndexOf resolves
 	// pruned configurations through it, and MaxK keeps paper semantics.
@@ -218,26 +234,60 @@ func (m *Model) pruneConfigs(ctx context.Context, eps float64) {
 	if !anyPruned {
 		return
 	}
-	// Compact per-node config lists and TL rows.
-	parallelFor(ctx, n, func(v int) {
-		if len(keep[v]) == len(m.cfgs[v]) {
+	// Compact config lists and TL rows, once per prune class.
+	classCfgs := make([][]itspace.Config, len(rReps))
+	classTL := make([][]float64, len(rReps))
+	parallelFor(ctx, len(rReps), func(ci int) {
+		v := rReps[ci]
+		if len(classKeep[ci]) == len(m.cfgs[v]) {
+			classCfgs[ci] = m.cfgs[v]
+			classTL[ci] = m.tl[v]
 			return
 		}
-		newCfgs := make([]itspace.Config, len(keep[v]))
-		newTL := make([]float64, len(keep[v]))
-		for i, ci := range keep[v] {
-			newCfgs[i] = m.fullCfgs[v][ci]
-			newTL[i] = m.tl[v][ci]
+		newCfgs := make([]itspace.Config, len(classKeep[ci]))
+		newTL := make([]float64, len(classKeep[ci]))
+		for i, fi := range classKeep[ci] {
+			newCfgs[i] = m.fullCfgs[v][fi]
+			newTL[i] = m.tl[v][fi]
 		}
-		m.cfgs[v] = newCfgs
-		m.tl[v] = newTL
+		classCfgs[ci] = newCfgs
+		classTL[ci] = newTL
 	})
-	// Compact per-edge TX tables: gather surviving rows and columns.
-	parallelFor(ctx, len(m.edges), func(e int) {
+	if ctx.Err() != nil {
+		return
+	}
+	for v := 0; v < n; v++ {
+		m.cfgs[v] = classCfgs[rClass[v]]
+		m.tl[v] = classTL[rClass[v]]
+	}
+	// Compact TX tables — gather surviving rows and columns — once per
+	// (edge class, producer prune class, consumer prune class): the survivor
+	// sets on both sides determine the gather, so edges agreeing on all
+	// three share the compacted table.
+	type compactKey struct{ ec, pu, pv int }
+	byKey := make(map[compactKey]int, len(m.edges))
+	cClass := make([]int, len(m.edges))
+	var cReps []int
+	for e := range m.edges {
+		k := compactKey{plan.eClass[e], rClass[m.edges[e][0]], rClass[m.edges[e][1]]}
+		ci, ok := byKey[k]
+		if !ok {
+			ci = len(cReps)
+			byKey[k] = ci
+			cReps = append(cReps, e)
+		}
+		cClass[e] = ci
+	}
+	cTab := make([][]float64, len(cReps))
+	cTabT := make([][]float64, len(cReps))
+	cKv := make([]int, len(cReps))
+	parallelFor(ctx, len(cReps), func(ci int) {
+		e := cReps[ci]
 		u, v := m.edges[e][0], m.edges[e][1]
 		ku, kv := len(m.fullCfgs[u]), m.txKv[e]
 		nu, nv := len(m.cfgs[u]), len(m.cfgs[v])
 		if nu == ku && nv == kv {
+			cTab[ci], cTabT[ci], cKv[ci] = m.tx[e], m.txT[e], kv
 			return
 		}
 		tab := make([]float64, nu*nv)
@@ -251,8 +301,14 @@ func (m *Model) pruneConfigs(ctx context.Context, eps float64) {
 				tabT[j*nu+i] = c
 			}
 		}
-		m.tx[e] = tab
-		m.txT[e] = tabT
-		m.txKv[e] = nv
+		cTab[ci], cTabT[ci], cKv[ci] = tab, tabT, nv
 	})
+	if ctx.Err() != nil {
+		return
+	}
+	for e := range m.edges {
+		m.tx[e] = cTab[cClass[e]]
+		m.txT[e] = cTabT[cClass[e]]
+		m.txKv[e] = cKv[cClass[e]]
+	}
 }

@@ -49,6 +49,16 @@ type Document struct {
 	PrunedConfigs int `json:"pruned_configs,omitempty"`
 	// KEffective is the post-pruning maximum per-vertex configuration count.
 	KEffective int `json:"k_effective,omitempty"`
+	// VertexClasses / EdgeClasses, when set, record the structural sharing
+	// of the model behind this solve: how many distinct vertex and edge
+	// cost tables were built (repeated layers alias shared tables).
+	VertexClasses int `json:"vertex_classes,omitempty"`
+	EdgeClasses   int `json:"edge_classes,omitempty"`
+	// TableBytes is the model's resident cost-table footprint in bytes;
+	// SharedTableBytes is what structural sharing saved versus a
+	// per-occurrence build.
+	TableBytes       int64 `json:"table_bytes,omitempty"`
+	SharedTableBytes int64 `json:"shared_table_bytes,omitempty"`
 	// Layers holds one entry per node, in graph node order.
 	Layers []Layer `json:"layers"`
 }

@@ -366,6 +366,42 @@ func (g *Graph) DegreeHistogram() map[int]int {
 	return h
 }
 
+// CanonicalEncode writes the ref's canonical form: map, window, scale, and
+// parameter-ness — every field the cost model reads.
+func (r TensorRef) CanonicalEncode(w *canon.Writer) {
+	w.Ints(r.Map)
+	w.I64s(r.Offset)
+	w.I64s(r.Size)
+	w.F64(r.EffScale())
+	w.Bool(r.Param)
+}
+
+// CanonicalEncodeContent writes the node's cost-relevant content — op kind,
+// iteration space, FLOPs density, halos, norm dims, and every tensor
+// reference — WITHOUT the node's identity (ID, Name). Two nodes with equal
+// content encodings are cost-indistinguishable: they enumerate the same
+// configurations and price every layer term identically, which is what the
+// cost model's structural sharing keys on (a Transformer's six encoder
+// layers collapse to one content class). No leading label is emitted so that
+// Graph.CanonicalEncode's byte stream — Name followed by content — is
+// unchanged from before this method was split out.
+func (n *Node) CanonicalEncodeContent(w *canon.Writer) {
+	w.Int(int(n.Op))
+	n.Space.CanonicalEncode(w)
+	w.F64(n.FlopsPerPoint)
+	w.I64s(n.Halo)
+	w.Ints(n.NormDims)
+	w.Len(len(n.Inputs))
+	for _, r := range n.Inputs {
+		r.CanonicalEncode(w)
+	}
+	w.Len(len(n.Params))
+	for _, r := range n.Params {
+		r.CanonicalEncode(w)
+	}
+	n.Output.CanonicalEncode(w)
+}
+
 // CanonicalEncode writes the graph's canonical form for request
 // fingerprinting: every node in ID order with its full cost-relevant content
 // (op, iteration space, tensor references, FLOPs density, halos, norm dims),
@@ -382,27 +418,7 @@ func (g *Graph) CanonicalEncode(w *canon.Writer) {
 	w.Len(g.Len())
 	for _, n := range g.Nodes {
 		w.Str(n.Name)
-		w.Int(int(n.Op))
-		n.Space.CanonicalEncode(w)
-		w.F64(n.FlopsPerPoint)
-		w.I64s(n.Halo)
-		w.Ints(n.NormDims)
-		encodeRef := func(r TensorRef) {
-			w.Ints(r.Map)
-			w.I64s(r.Offset)
-			w.I64s(r.Size)
-			w.F64(r.EffScale())
-			w.Bool(r.Param)
-		}
-		w.Len(len(n.Inputs))
-		for _, r := range n.Inputs {
-			encodeRef(r)
-		}
-		w.Len(len(n.Params))
-		for _, r := range n.Params {
-			encodeRef(r)
-		}
-		encodeRef(n.Output)
+		n.CanonicalEncodeContent(w)
 	}
 	w.Label("edges")
 	for v := range g.Nodes {

@@ -166,6 +166,17 @@ type Result struct {
 	// KEffective is the largest per-vertex configuration count the search
 	// iterated over (post-pruning; zero for baseline methods).
 	KEffective int
+	// VertexClasses / EdgeClasses are the model's structural-sharing class
+	// counts: how many distinct vertex and edge cost tables the build
+	// constructed (repeated layers alias shared tables; zero for baseline
+	// methods, which never build a model).
+	VertexClasses int
+	EdgeClasses   int
+	// TableBytes is the model's resident cost-table footprint in bytes
+	// (shared tables counted once); SharedTableBytes is what structural
+	// sharing saved versus a per-occurrence build.
+	TableBytes       int64
+	SharedTableBytes int64
 }
 
 // clone returns an independent copy whose strategy the caller may mutate.
@@ -272,6 +283,14 @@ type Stats struct {
 	// PrunedConfigs totals the candidate configurations removed by
 	// config-space reduction across all models this planner built.
 	PrunedConfigs int64 `json:"pruned_configs"`
+	// VertexClasses / EdgeClasses total the structural-sharing class counts
+	// across all models this planner built; SharedTableBytes totals the
+	// table bytes interning saved versus per-occurrence builds. Repeated
+	// structure (Transformer encoder layers, inception modules) shows up
+	// here as classes far below the node/edge counts served.
+	VertexClasses    int64 `json:"vertex_classes"`
+	EdgeClasses      int64 `json:"edge_classes"`
+	SharedTableBytes int64 `json:"shared_table_bytes"`
 }
 
 // solveFlight is one in-flight underlying solve. waiters counts the callers
@@ -297,6 +316,10 @@ type modelFlight struct {
 // concurrent use by any number of goroutines.
 type Planner struct {
 	cfg Config
+	// arena recycles DP-solve table buffers across every solve this planner
+	// runs (cache misses, batch fan-outs, Compare): sync.Pool-backed size
+	// classes, shared safely by concurrent solves.
+	arena *core.Arena
 
 	mu           sync.Mutex
 	models       *lruCache[canon.Fingerprint, *cost.Model]
@@ -310,6 +333,7 @@ type Planner struct {
 func New(cfg Config) *Planner {
 	p := &Planner{
 		cfg:          cfg,
+		arena:        core.NewArena(),
 		solveFlights: map[canon.Fingerprint]*solveFlight{},
 		modelFlights: map[canon.Fingerprint]*modelFlight{},
 	}
@@ -519,7 +543,7 @@ func (p *Planner) doSolve(ctx context.Context, req Request, modelFP, solveFP can
 		if method == "mcmc" {
 			res, err = runMCMC(ctx, m, req.Opts, start)
 		} else {
-			res, err = runDP(ctx, m, req.Opts, start)
+			res, err = runDP(ctx, m, req.Opts, start, p.arena)
 		}
 		if res != nil {
 			res.ModelTime = modelTime
@@ -553,7 +577,7 @@ func (p *Planner) solveWithModel(ctx context.Context, req Request, start time.Ti
 	case method == "mcmc":
 		res, err = runMCMC(ctx, m, req.Opts, start)
 	default:
-		res, err = runDP(ctx, m, req.Opts, start)
+		res, err = runDP(ctx, m, req.Opts, start, p.arena)
 	}
 	if err != nil {
 		return nil, err
@@ -562,8 +586,9 @@ func (p *Planner) solveWithModel(ctx context.Context, req Request, start time.Ti
 	return res, nil
 }
 
-// runDP runs ordering + the dependent-set DP over a built model.
-func runDP(ctx context.Context, m *cost.Model, opts Options, start time.Time) (*Result, error) {
+// runDP runs ordering + the dependent-set DP over a built model, drawing
+// table buffers from the planner's shared arena.
+func runDP(ctx context.Context, m *cost.Model, opts Options, start time.Time, arena *core.Arena) (*Result, error) {
 	var sq *seq.Sequence
 	if opts.BreadthFirst {
 		sq = seq.BFS(m.G)
@@ -573,18 +598,23 @@ func runDP(ctx context.Context, m *cost.Model, opts Options, start time.Time) (*
 	r, err := core.Solve(ctx, m, sq, core.Options{
 		MaxTableEntries: opts.MaxTableEntries,
 		Workers:         opts.Workers,
+		Arena:           arena,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
-		Strategy:      r.Strategy,
-		Cost:          r.Cost,
-		SearchTime:    time.Since(start),
-		MaxDepSize:    r.Stats.MaxDepSize,
-		States:        r.Stats.States,
-		PrunedConfigs: r.Stats.PrunedConfigs,
-		KEffective:    r.Stats.KEffective,
+		Strategy:         r.Strategy,
+		Cost:             r.Cost,
+		SearchTime:       time.Since(start),
+		MaxDepSize:       r.Stats.MaxDepSize,
+		States:           r.Stats.States,
+		PrunedConfigs:    r.Stats.PrunedConfigs,
+		KEffective:       r.Stats.KEffective,
+		VertexClasses:    r.Stats.VertexClasses,
+		EdgeClasses:      r.Stats.EdgeClasses,
+		TableBytes:       r.Stats.TableBytes,
+		SharedTableBytes: r.Stats.SharedTableBytes,
 	}, nil
 }
 
@@ -604,12 +634,16 @@ func runMCMC(ctx context.Context, m *cost.Model, opts Options, start time.Time) 
 		return nil, err
 	}
 	return &Result{
-		Strategy:      m.StrategyFromIdx(r.BestIdx),
-		Cost:          r.BestCost,
-		SearchTime:    time.Since(start),
-		States:        int64(r.Iters),
-		PrunedConfigs: m.PrunedConfigs(),
-		KEffective:    m.MaxKEffective(),
+		Strategy:         m.StrategyFromIdx(r.BestIdx),
+		Cost:             r.BestCost,
+		SearchTime:       time.Since(start),
+		States:           int64(r.Iters),
+		PrunedConfigs:    m.PrunedConfigs(),
+		KEffective:       m.MaxKEffective(),
+		VertexClasses:    m.VertexClasses(),
+		EdgeClasses:      m.EdgeClasses(),
+		TableBytes:       m.TableBytes(),
+		SharedTableBytes: m.SharedTableBytes(),
 	}, nil
 }
 
@@ -679,6 +713,9 @@ func (p *Planner) model(ctx context.Context, req Request, modelFP canon.Fingerpr
 		if err == nil {
 			p.stats.ModelBuilds++
 			p.stats.PrunedConfigs += int64(m.PrunedConfigs())
+			p.stats.VertexClasses += int64(m.VertexClasses())
+			p.stats.EdgeClasses += int64(m.EdgeClasses())
+			p.stats.SharedTableBytes += m.SharedTableBytes()
 			p.models.Put(modelFP, m)
 		}
 		fl.m, fl.err = m, err

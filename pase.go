@@ -240,15 +240,21 @@ func DefaultPlanner() *Planner { return defaultPlanner }
 var ErrOOM = core.ErrOOM
 
 // NewModel binds a graph to a machine under an enumeration policy, building
-// all layer and edge cost tables eagerly across a worker pool, then
-// compacting the config space by exact duplicate-signature dedup.
+// all layer and edge cost tables eagerly across a worker pool — one build
+// per structural class, with repeated layers/edges aliasing shared tables —
+// then compacting the config space by exact duplicate-signature dedup.
+// Model.VertexClasses/EdgeClasses/TableBytes/SharedTableBytes report the
+// sharing.
 func NewModel(g *Graph, spec Machine, pol EnumPolicy) (*Model, error) {
 	return cost.NewModel(g, spec, pol)
 }
 
 // ModelBuildOptions tunes NewModelWithOptions: PruneEpsilon enables
 // epsilon-dominance config pruning; DisablePruning turns off even the exact
-// dedup (the unpruned oracle the pruning property tests compare against).
+// dedup (the unpruned oracle the pruning property tests compare against);
+// DisableInterning turns off structural sharing, building one table per
+// node/edge occurrence instead of one per class (the byte-identical oracle
+// the interning property tests compare against).
 type ModelBuildOptions = cost.BuildOptions
 
 // NewModelWithOptions is NewModel under explicit build options and a
