@@ -26,6 +26,10 @@
 //   - Fig5_GenerateSeq/<model>: the GENERATESEQ ordering alone.
 //   - SolveWorkers/workers=<n>: the DP solve on a prebuilt Transformer p=32
 //     model across worker counts.
+//   - Sweep/Transformer/p=2..32/{cold,warm}: the Transformer model built at
+//     every device count through one planner, with the cross-request class
+//     store empty (cold) vs fully resident (warm), plus the store's
+//     hit/miss/bytes counters as extras.
 package main
 
 import (
@@ -254,6 +258,52 @@ func run(cfg config) error {
 		})
 	}
 
+	// Cross-request class-store sweep: the Transformer model built at every
+	// p in 2..32 through one planner, cold (empty class store, every class
+	// constructed) vs warm (every class already resident, builds reduce to
+	// store lookups). The warm/cold gap is what the store saves a sweep; the
+	// warm time is gated so the lookup path stays cheap.
+	sweepPs := []int{2, 4, 8, 16, 32}
+	sweepOnce := func(pl *pase.Planner) error {
+		for _, sp := range sweepPs {
+			if _, err := pl.Model(context.Background(), tg, pase.GTX1080Ti(sp), tbm.Policy(sp)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// ModelCacheSize 1 makes every sweep point rebuild its model, so the
+	// warm pass measures the class store, not the whole-model cache.
+	coldNs, err := measure(reps, func() error {
+		return sweepOnce(pase.NewPlanner(pase.PlannerConfig{ModelCacheSize: 1}))
+	})
+	if err != nil {
+		return fmt.Errorf("Sweep cold: %w", err)
+	}
+	warmPl := pase.NewPlanner(pase.PlannerConfig{ModelCacheSize: 1})
+	if err := sweepOnce(warmPl); err != nil {
+		return fmt.Errorf("Sweep warm seed: %w", err)
+	}
+	warmNs, err := measure(reps, func() error { return sweepOnce(warmPl) })
+	if err != nil {
+		return fmt.Errorf("Sweep warm: %w", err)
+	}
+	sweepStats := warmPl.Stats()
+	rep.Results = append(rep.Results,
+		Result{Name: "Sweep/Transformer/p=2..32/cold", NsPerOp: coldNs, Reps: reps},
+		Result{
+			Name:    "Sweep/Transformer/p=2..32/warm",
+			NsPerOp: warmNs,
+			Reps:    reps,
+			Extra: map[string]float64{
+				"store_hits":        float64(sweepStats.ClassStoreHits),
+				"store_misses":      float64(sweepStats.ClassStoreMisses),
+				"store_bytes":       float64(sweepStats.ClassStoreBytes),
+				"store_saved_bytes": float64(sweepStats.ClassStoreSavedBytes),
+			},
+		},
+	)
+
 	if cfg.memProfile != "" {
 		f, err := os.Create(cfg.memProfile)
 		if err != nil {
@@ -302,7 +352,8 @@ func run(cfg config) error {
 }
 
 // regressionCheck compares this run's gated benchmarks — the Transformer
-// Table I solve AND the Transformer model build — against the -against
+// Table I solve, the Transformer model build, AND the warm class-store
+// sweep — against the -against
 // trajectory and fails on a regression beyond the allowed factor: the CI
 // gate that keeps the serving-latency floor and the structural-sharing
 // model-build win from silently eroding. A missing file or a benchmark
@@ -326,6 +377,7 @@ func regressionCheck(rep Report, against string, factor float64, p int) error {
 	for _, name := range []string{
 		fmt.Sprintf("TableI_PaSE/Transformer/p=%d", p),
 		fmt.Sprintf("ModelBuild/Transformer/p=%d", p),
+		"Sweep/Transformer/p=2..32/warm",
 	} {
 		if err := regressionCheckOne(rep, traj, against, name, factor); err != nil {
 			return err

@@ -97,6 +97,10 @@ func run(model string, gpus int, mach, method string, timeout time.Duration, com
 			res.VertexClasses, g.Len(), res.EdgeClasses,
 			float64(res.TableBytes)/1e6, float64(res.SharedTableBytes)/1e6)
 	}
+	if res.ClassStoreHits > 0 || res.DeltaResolve {
+		fmt.Printf("sharing: %d class-store hits (%.1f MB aliased), delta re-solve %v\n",
+			res.ClassStoreHits, float64(res.ClassStoreBytes)/1e6, res.DeltaResolve)
+	}
 	fmt.Println()
 
 	tb := &report.Table{
@@ -136,6 +140,9 @@ func run(model string, gpus int, mach, method string, timeout time.Duration, com
 		doc.EdgeClasses = res.EdgeClasses
 		doc.TableBytes = res.TableBytes
 		doc.SharedTableBytes = res.SharedTableBytes
+		doc.ClassStoreHits = res.ClassStoreHits
+		doc.ClassStoreBytes = res.ClassStoreBytes
+		doc.DeltaResolve = res.DeltaResolve
 		f, err := os.Create(exportPath)
 		if err != nil {
 			return err

@@ -128,6 +128,13 @@ type solveResponse struct {
 	EdgeClasses      int   `json:"edge_classes"`
 	TableBytes       int64 `json:"table_bytes"`
 	SharedTableBytes int64 `json:"shared_table_bytes"`
+	// ClassStoreHits / ClassStoreBytes report what this solve's model build
+	// resolved from the daemon's cross-request class store instead of
+	// rebuilding; DeltaResolve reports the solve was served incrementally
+	// from a retained DP snapshot (only the changed tables re-filled).
+	ClassStoreHits  int64 `json:"class_store_hits"`
+	ClassStoreBytes int64 `json:"class_store_bytes"`
+	DeltaResolve    bool  `json:"delta_resolve"`
 }
 
 type batchRequest struct {
@@ -336,6 +343,9 @@ func toResponse(req pase.SolveRequest, model string, res *pase.Result) (*solveRe
 	doc.EdgeClasses = res.EdgeClasses
 	doc.TableBytes = res.TableBytes
 	doc.SharedTableBytes = res.SharedTableBytes
+	doc.ClassStoreHits = res.ClassStoreHits
+	doc.ClassStoreBytes = res.ClassStoreBytes
+	doc.DeltaResolve = res.DeltaResolve
 	return &solveResponse{
 		Strategy:         doc,
 		Method:           res.Method,
@@ -352,6 +362,9 @@ func toResponse(req pase.SolveRequest, model string, res *pase.Result) (*solveRe
 		EdgeClasses:      res.EdgeClasses,
 		TableBytes:       res.TableBytes,
 		SharedTableBytes: res.SharedTableBytes,
+		ClassStoreHits:   res.ClassStoreHits,
+		ClassStoreBytes:  res.ClassStoreBytes,
+		DeltaResolve:     res.DeltaResolve,
 	}, nil
 }
 
@@ -532,6 +545,10 @@ func main() {
 		workers      = flag.Int("batch-workers", 0, "batch fan-out workers (0 = GOMAXPROCS)")
 		maxGPUs      = flag.Int("max-gpus", 128, "largest accepted device count (cost-model tables grow with p; raise deliberately)")
 		pruneEps     = flag.Float64("prune-epsilon", 0, "default epsilon-dominance config pruning for requests that leave it unset (0 = exact dedup only)")
+		storeBytes   = flag.Int64("class-store-bytes", 0, "cross-request class store budget in bytes (0 = default 256 MiB)")
+		noStore      = flag.Bool("no-class-store", false, "disable cross-request class-table sharing (every model build constructs its own tables)")
+		deltaCache   = flag.Int("delta-cache", 0, "retained DP snapshots for incremental re-solve (0 = default 2, negative disables)")
+		deltaThresh  = flag.Float64("delta-threshold", 0, "largest dirty-entries fraction served incrementally (0 = default 0.3, negative disables)")
 		solveTimeout = flag.Duration("solve-timeout", 2*time.Minute, "per-request solve deadline; the solve is aborted mid-DP when it expires (0 = no deadline)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long SIGTERM waits for in-flight requests before force-closing connections (which cancels their solves)")
 		debugAddr    = flag.String("debug-addr", "", "optional localhost listen address serving net/http/pprof (e.g. 127.0.0.1:6060); off when empty")
@@ -562,6 +579,10 @@ func main() {
 		ResultCacheSize:     *resultCache,
 		BatchWorkers:        *workers,
 		DefaultPruneEpsilon: *pruneEps,
+		ClassStoreBytes:     *storeBytes,
+		DisableClassStore:   *noStore,
+		DeltaCacheSize:      *deltaCache,
+		DeltaThreshold:      *deltaThresh,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -50,6 +50,7 @@ const (
 	tagSlice  byte = 6
 	tagNil    byte = 7
 	tagLabel  byte = 8
+	tagFP     byte = 9
 )
 
 // Writer accumulates a canonical encoding into a running SHA-256.
@@ -150,6 +151,15 @@ func (w *Writer) I64s(vs []int64) {
 	for _, v := range vs {
 		w.I64(v)
 	}
+}
+
+// FP writes a previously computed fingerprint as one value, so composite
+// identities (an edge class over its endpoint classes, a prune class over a
+// vertex class and its incidence shape) can be built from per-element
+// fingerprints without re-encoding the elements. The fixed 32-byte payload
+// under its own tag keeps the stream unambiguous like every other value.
+func (w *Writer) FP(f Fingerprint) {
+	w.tagged(tagFP, f[:])
 }
 
 // Sum finalizes and returns the fingerprint. The writer remains usable;

@@ -42,6 +42,11 @@ type internPlan struct {
 	vReps  []int // per vertex class: representative node ID
 	eClass []int // per edge: dense edge class ID
 	eReps  []int // per edge class: representative edge index
+	// Per-class canonical fingerprints — the ClassStore keys and the
+	// identities delta detection compares across models. nil for a singleton
+	// (DisableInterning) plan, which neither shares nor compares.
+	vFPs []canon.Fingerprint // per vertex class: content fingerprint
+	eFPs []canon.Fingerprint // per edge class: endpoint classes + slot
 }
 
 // singletonPlan is the DisableInterning oracle: every node and edge is its
@@ -97,6 +102,7 @@ func (m *Model) buildInternPlan() *internPlan {
 			ci = len(p.vReps)
 			byFP[fp] = ci
 			p.vReps = append(p.vReps, id)
+			p.vFPs = append(p.vFPs, fp)
 		}
 		p.vClass[id] = ci
 	}
@@ -109,6 +115,12 @@ func (m *Model) buildInternPlan() *internPlan {
 			ci = len(p.eReps)
 			byKey[k] = ci
 			p.eReps = append(p.eReps, e)
+			w := canon.NewWriter()
+			w.Label("cost.edge-class/v1")
+			w.FP(p.vFPs[k.cu])
+			w.FP(p.vFPs[k.cv])
+			w.Int(k.slot)
+			p.eFPs = append(p.eFPs, w.Sum())
 		}
 		p.eClass[e] = ci
 	}
@@ -118,25 +130,28 @@ func (m *Model) buildInternPlan() *internPlan {
 // pruneClasses groups nodes whose cost signatures (prune.go sigVisit) are
 // byte-identical for every configuration: same vertex class and the same
 // ordered incident-edge shape. rClass[v] is the dense prune-class ID,
-// rReps[c] its representative node. With a singleton plan every node is its
-// own prune class.
-func (m *Model) pruneClasses(p *internPlan) (rClass []int, rReps []int) {
+// rReps[c] its representative node, rFPs[c] its canonical fingerprint —
+// composed from the member class fingerprints (not dense per-model IDs), so
+// it identifies the class across models and keys the ClassStore's prune
+// entries. With a singleton plan every node is its own prune class and no
+// fingerprints are computed (nothing is shared or compared).
+func (m *Model) pruneClasses(p *internPlan) (rClass []int, rReps []int, rFPs []canon.Fingerprint) {
 	rClass = make([]int, m.G.Len())
-	if len(p.vReps) == m.G.Len() && len(p.eReps) == len(m.edges) {
+	if p.vFPs == nil {
 		for v := range rClass {
 			rClass[v] = v
 			rReps = append(rReps, v)
 		}
-		return rClass, rReps
+		return rClass, rReps, nil
 	}
 	byFP := make(map[canon.Fingerprint]int, m.G.Len())
 	for v := range rClass {
 		w := canon.NewWriter()
-		w.Label("cost.prune-class/v1")
-		w.Int(p.vClass[v])
+		w.Label("cost.prune-class/v2")
+		w.FP(p.vFPs[p.vClass[v]])
 		w.Len(len(m.inc[v]))
 		for _, ie := range m.inc[v] {
-			w.Int(p.eClass[ie.E])
+			w.FP(p.eFPs[p.eClass[ie.E]])
 			w.Bool(ie.VIsU)
 			w.Bool(ie.Self)
 		}
@@ -146,10 +161,11 @@ func (m *Model) pruneClasses(p *internPlan) (rClass []int, rReps []int) {
 			ci = len(rReps)
 			byFP[fp] = ci
 			rReps = append(rReps, v)
+			rFPs = append(rFPs, fp)
 		}
 		rClass[v] = ci
 	}
-	return rClass, rReps
+	return rClass, rReps, rFPs
 }
 
 // computeTableStats fills the model's structural-sharing counters after the
@@ -203,3 +219,34 @@ func (m *Model) TableBytes() int64 { return m.tableBytes }
 // per-occurrence (un-interned) table footprint minus TableBytes. Zero when
 // interning is disabled or nothing repeats.
 func (m *Model) SharedTableBytes() int64 { return m.sharedTableBytes }
+
+// VertexClassFP returns node v's final class fingerprint: the canonical
+// identity of its post-pruning configuration list and TL row (content class
+// + incidence shape + epsilon under pruning; the content class alone when
+// pruning is disabled). Two models agreeing on a node's fingerprint hold
+// byte-identical tables for it — the comparison delta re-solve runs. Zero
+// when the model was built with DisableInterning.
+func (m *Model) VertexClassFP(v int) canon.Fingerprint {
+	if m.vClassFP == nil {
+		return canon.Fingerprint{}
+	}
+	return m.vClassFP[v]
+}
+
+// EdgeClassFP returns edge e's final class fingerprint — the identity of its
+// post-pruning TX table (edge class + both endpoint prune classes). Zero
+// when the model was built with DisableInterning.
+func (m *Model) EdgeClassFP(e int) canon.Fingerprint {
+	if m.eClassFP == nil {
+		return canon.Fingerprint{}
+	}
+	return m.eClassFP[e]
+}
+
+// ClassStoreHits returns how many class references this build resolved from
+// its ClassStore (zero without a store); ClassStoreMisses how many it built
+// and published; ClassStoreBytes the table bytes the hits aliased instead of
+// rebuilding.
+func (m *Model) ClassStoreHits() int64   { return m.classStoreHits }
+func (m *Model) ClassStoreMisses() int64 { return m.classStoreMiss }
+func (m *Model) ClassStoreBytes() int64  { return m.classStoreBytes }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pase/internal/canon"
 	"pase/internal/graph"
 	"pase/internal/itspace"
 	"pase/internal/machine"
@@ -71,6 +72,16 @@ type Model struct {
 	edgeClasses      int
 	tableBytes       int64
 	sharedTableBytes int64
+
+	// Cross-request sharing state (store.go): the final per-node and
+	// per-edge class fingerprints — identities of the post-pruning tables,
+	// which delta re-solve compares across models — and this build's
+	// ClassStore traffic. Fingerprints are zero when interning was disabled.
+	vClassFP        []canon.Fingerprint
+	eClassFP        []canon.Fingerprint
+	classStoreHits  int64
+	classStoreMiss  int64
+	classStoreBytes int64
 
 	edges   [][2]int
 	edgeIdx map[[2]int]int
@@ -184,24 +195,57 @@ func NewModelWith(ctx context.Context, g *graph.Graph, spec machine.Spec, pol it
 	if bo.DisableInterning {
 		plan = singletonPlan(g.Len(), len(m.edges))
 	}
+	// A ClassStore only keys by class fingerprints, which a singleton plan
+	// does not compute; a DisableInterning build therefore never consults it.
+	store := bo.Store
+	if plan.vFPs == nil {
+		store = nil
+	}
+	var storeHits, storeMiss, storeBytes atomic.Int64
 	// Phase 1: configuration enumeration and layer-cost tables, one vertex
-	// class per pool task.
+	// class per pool task — resolved from the planner's ClassStore when one
+	// is attached, so a class already built for any earlier model (a prior
+	// sweep point, a concurrent near-duplicate request) is aliased instead of
+	// re-enumerated.
 	nodeErr := make([]error, len(plan.vReps))
 	classCfgs := make([][]itspace.Config, len(plan.vReps))
 	classTL := make([][]float64, len(plan.vReps))
 	parallelFor(ctx, len(plan.vReps), func(ci int) {
-		n := g.Nodes[plan.vReps[ci]]
-		cs := itspace.Enumerate(n.Space, spec.Devices, pol)
-		if len(cs) == 0 {
-			nodeErr[ci] = fmt.Errorf("cost: node %d (%s) admits no configuration", n.ID, n.Name)
+		build := func() (any, int64, error) {
+			n := g.Nodes[plan.vReps[ci]]
+			cs := itspace.Enumerate(n.Space, spec.Devices, pol)
+			if len(cs) == 0 {
+				return nil, 0, fmt.Errorf("cost: node %d (%s) admits no configuration", n.ID, n.Name)
+			}
+			tl := make([]float64, len(cs))
+			for i, c := range cs {
+				tl[i] = TLSeconds(n, c, spec)
+			}
+			return vertexTables{cfgs: cs, tl: tl}, configBytes(cs) + int64(len(tl))*8, nil
+		}
+		if store == nil {
+			val, _, err := build()
+			if err != nil {
+				nodeErr[ci] = err
+				return
+			}
+			vt := val.(vertexTables)
+			classCfgs[ci], classTL[ci] = vt.cfgs, vt.tl
 			return
 		}
-		classCfgs[ci] = cs
-		tl := make([]float64, len(cs))
-		for i, c := range cs {
-			tl[i] = TLSeconds(n, c, spec)
+		val, hit, bytes, err := store.getOrBuild(plan.vFPs[ci], build)
+		if err != nil {
+			nodeErr[ci] = err
+			return
 		}
-		classTL[ci] = tl
+		vt := val.(vertexTables)
+		classCfgs[ci], classTL[ci] = vt.cfgs, vt.tl
+		if hit {
+			storeHits.Add(1)
+			storeBytes.Add(bytes)
+		} else {
+			storeMiss.Add(1)
+		}
 	})
 	if err := context.Cause(ctx); err != nil {
 		return nil, fmt.Errorf("cost: model build cancelled: %w", err)
@@ -229,40 +273,56 @@ func NewModelWith(ctx context.Context, g *graph.Graph, spec machine.Spec, pol it
 	classTab := make([][]float64, len(plan.eReps))
 	classTabT := make([][]float64, len(plan.eReps))
 	parallelFor(ctx, len(plan.eReps), func(ci int) {
-		e := plan.eReps[ci]
-		u, v := m.edges[e][0], m.edges[e][1]
-		nu, nv := g.Nodes[u], g.Nodes[v]
-		out, in := nu.Output, nv.Inputs[m.inSlot[e]]
-		ku, kv := len(m.cfgs[u]), m.txKv[e]
-		nd := len(out.Map)
-		s := make([]float64, nd)
-		for t := range out.Map {
-			s[t] = float64(out.Extent(nu.Space, t))
-		}
-		gus := make([]float64, ku*nd)
-		for cu := 0; cu < ku; cu++ {
-			granularitiesInto(gus[cu*nd:cu*nd+nd], out, nu.Space, m.cfgs[u][cu], s)
-		}
-		gvs := make([]float64, kv*nd)
-		for cv := 0; cv < kv; cv++ {
-			granularitiesInto(gvs[cv*nd:cv*nd+nd], in, nv.Space, m.cfgs[v][cv], s)
-		}
-		scale := out.EffScale()
-		tab := make([]float64, ku*kv)
-		tabT := make([]float64, ku*kv)
-		for cu := 0; cu < ku; cu++ {
-			gu := gus[cu*nd : cu*nd+nd]
-			for cv := 0; cv < kv; cv++ {
-				c := 0.0
-				if bytes := txVolumeBytes(s, gu, gvs[cv*nd:cv*nd+nd], scale); bytes > 0 {
-					c = bytes/txBW + spec.LatencySec
-				}
-				tab[cu*kv+cv] = c
-				tabT[cv*ku+cu] = c
+		build := func() (any, int64, error) {
+			e := plan.eReps[ci]
+			u, v := m.edges[e][0], m.edges[e][1]
+			nu, nv := g.Nodes[u], g.Nodes[v]
+			out, in := nu.Output, nv.Inputs[m.inSlot[e]]
+			ku, kv := len(m.cfgs[u]), m.txKv[e]
+			nd := len(out.Map)
+			s := make([]float64, nd)
+			for t := range out.Map {
+				s[t] = float64(out.Extent(nu.Space, t))
 			}
+			gus := make([]float64, ku*nd)
+			for cu := 0; cu < ku; cu++ {
+				granularitiesInto(gus[cu*nd:cu*nd+nd], out, nu.Space, m.cfgs[u][cu], s)
+			}
+			gvs := make([]float64, kv*nd)
+			for cv := 0; cv < kv; cv++ {
+				granularitiesInto(gvs[cv*nd:cv*nd+nd], in, nv.Space, m.cfgs[v][cv], s)
+			}
+			scale := out.EffScale()
+			tab := make([]float64, ku*kv)
+			tabT := make([]float64, ku*kv)
+			for cu := 0; cu < ku; cu++ {
+				gu := gus[cu*nd : cu*nd+nd]
+				for cv := 0; cv < kv; cv++ {
+					c := 0.0
+					if bytes := txVolumeBytes(s, gu, gvs[cv*nd:cv*nd+nd], scale); bytes > 0 {
+						c = bytes/txBW + spec.LatencySec
+					}
+					tab[cu*kv+cv] = c
+					tabT[cv*ku+cu] = c
+				}
+			}
+			return edgeTables{tab: tab, tabT: tabT}, int64(len(tab)) * 16, nil
 		}
-		classTab[ci] = tab
-		classTabT[ci] = tabT
+		if store == nil {
+			val, _, _ := build()
+			et := val.(edgeTables)
+			classTab[ci], classTabT[ci] = et.tab, et.tabT
+			return
+		}
+		val, hit, bytes, _ := store.getOrBuild(plan.eFPs[ci], build)
+		et := val.(edgeTables)
+		classTab[ci], classTabT[ci] = et.tab, et.tabT
+		if hit {
+			storeHits.Add(1)
+			storeBytes.Add(bytes)
+		} else {
+			storeMiss.Add(1)
+		}
 	})
 	if err := context.Cause(ctx); err != nil {
 		return nil, fmt.Errorf("cost: model build cancelled: %w", err)
@@ -275,13 +335,28 @@ func NewModelWith(ctx context.Context, g *graph.Graph, spec machine.Spec, pol it
 	// epsilon dominance when requested — followed by table compaction onto
 	// the surviving interned IDs. Both run per class: members of a prune
 	// class have byte-identical cost signatures, so they keep the same
-	// survivors and share the compacted tables.
+	// survivors and share the compacted tables. It also assigns the final
+	// (post-pruning) class fingerprints delta detection compares.
 	if !bo.DisablePruning {
-		m.pruneConfigs(ctx, bo.PruneEpsilon, plan)
+		m.pruneConfigs(ctx, bo.PruneEpsilon, plan, store, &storeHits, &storeMiss, &storeBytes)
 		if err := context.Cause(ctx); err != nil {
 			return nil, fmt.Errorf("cost: model build cancelled: %w", err)
 		}
+	} else if plan.vFPs != nil {
+		// Unpruned tables are identified by the content-level class
+		// fingerprints directly.
+		m.vClassFP = make([]canon.Fingerprint, g.Len())
+		for v := range m.vClassFP {
+			m.vClassFP[v] = plan.vFPs[plan.vClass[v]]
+		}
+		m.eClassFP = make([]canon.Fingerprint, len(m.edges))
+		for e := range m.eClassFP {
+			m.eClassFP[e] = plan.eFPs[plan.eClass[e]]
+		}
 	}
+	m.classStoreHits = storeHits.Load()
+	m.classStoreMiss = storeMiss.Load()
+	m.classStoreBytes = storeBytes.Load()
 	m.computeTableStats(plan)
 	m.BuildTime = time.Since(start)
 	return m, nil

@@ -28,7 +28,9 @@ package cost
 import (
 	"context"
 	"math"
+	"sync/atomic"
 
+	"pase/internal/canon"
 	"pase/internal/itspace"
 )
 
@@ -49,6 +51,13 @@ type BuildOptions struct {
 	// graph had no repeated structure. Solves over the interned model are
 	// byte-identical to this oracle; the property tests pin that.
 	DisableInterning bool
+	// Store, when non-nil, resolves class tables from a cross-request
+	// ClassStore (store.go): classes already built for any earlier model
+	// sharing the store are aliased instead of rebuilt, and fresh classes
+	// are published for later builds. Requires interning (a DisableInterning
+	// build computes no class fingerprints and ignores the store). Builds
+	// through a store are byte-identical to store-less builds.
+	Store *ClassStore
 }
 
 // sigVisit streams node v's cost signature entries for its ci-th
@@ -200,16 +209,66 @@ func (m *Model) pruneNode(v int, eps float64) (keep []int, rep []int32) {
 // signature analysis and the compaction run once per structural-sharing
 // class (intern.go): members of a prune class see byte-identical signatures,
 // so they keep identical survivor sets and alias the compacted tables —
-// interning composes with the reduction instead of being undone by it. A
+// interning composes with the reduction instead of being undone by it. With
+// a ClassStore attached both the per-class reduction outcome and each
+// compacted TX table resolve from the store (keyed by the prune-class and
+// compact-class fingerprints plus epsilon), so near-duplicate models skip
+// the signature analysis entirely. It also assigns the model's final
+// per-node and per-edge class fingerprints when the plan computed them. A
 // cancelled ctx stops the per-class passes between tasks; the caller
 // (NewModelWith) discards the partially-reduced model.
-func (m *Model) pruneConfigs(ctx context.Context, eps float64, plan *internPlan) {
+func (m *Model) pruneConfigs(ctx context.Context, eps float64, plan *internPlan, store *ClassStore, storeHits, storeMiss, storeBytes *atomic.Int64) {
 	n := m.G.Len()
-	rClass, rReps := m.pruneClasses(plan)
-	classKeep := make([][]int, len(rReps))
-	classRep := make([][]int32, len(rReps))
+	rClass, rReps, rFPs := m.pruneClasses(plan)
+	// Prune-entry store keys: the prune-class fingerprint plus epsilon
+	// (epsilon changes the survivor set, so it is part of the identity).
+	var pKeys []canon.Fingerprint
+	if rFPs != nil {
+		pKeys = make([]canon.Fingerprint, len(rFPs))
+		for ci := range rFPs {
+			w := canon.NewWriter()
+			w.Label("cost.store.prune/v1")
+			w.FP(rFPs[ci])
+			w.F64(eps)
+			pKeys[ci] = w.Sum()
+		}
+	}
+	if rFPs == nil {
+		store = nil
+	}
+	classPrune := make([]pruneTables, len(rReps))
 	parallelFor(ctx, len(rReps), func(ci int) {
-		classKeep[ci], classRep[ci] = m.pruneNode(rReps[ci], eps)
+		build := func() (any, int64, error) {
+			v := rReps[ci]
+			keep, rep := m.pruneNode(v, eps)
+			pt := pruneTables{keep: keep, rep: rep}
+			b := int64(len(keep))*8 + int64(len(rep))*4
+			if len(keep) == len(m.cfgs[v]) {
+				pt.cfgs, pt.tl = m.cfgs[v], m.tl[v]
+			} else {
+				pt.cfgs = make([]itspace.Config, len(keep))
+				pt.tl = make([]float64, len(keep))
+				for i, fi := range keep {
+					pt.cfgs[i] = m.cfgs[v][fi]
+					pt.tl[i] = m.tl[v][fi]
+				}
+				b += int64(len(keep)) * 32 // compacted headers + TL row
+			}
+			return pt, b, nil
+		}
+		if store == nil {
+			val, _, _ := build()
+			classPrune[ci] = val.(pruneTables)
+			return
+		}
+		val, hit, bytes, _ := store.getOrBuild(pKeys[ci], build)
+		classPrune[ci] = val.(pruneTables)
+		if hit {
+			storeHits.Add(1)
+			storeBytes.Add(bytes)
+		} else {
+			storeMiss.Add(1)
+		}
 	})
 	if ctx.Err() != nil {
 		return
@@ -217,8 +276,8 @@ func (m *Model) pruneConfigs(ctx context.Context, eps float64, plan *internPlan)
 	keep := make([][]int, n)
 	m.repOf = make([][]int32, n)
 	for v := 0; v < n; v++ {
-		keep[v] = classKeep[rClass[v]]
-		m.repOf[v] = classRep[rClass[v]]
+		keep[v] = classPrune[rClass[v]].keep
+		m.repOf[v] = classPrune[rClass[v]].rep
 	}
 	// Snapshot the full enumeration before compaction: IndexOf resolves
 	// pruned configurations through it, and MaxK keeps paper semantics.
@@ -231,43 +290,20 @@ func (m *Model) pruneConfigs(ctx context.Context, eps float64, plan *internPlan)
 			anyPruned = true
 		}
 	}
-	if !anyPruned {
-		return
-	}
-	// Compact config lists and TL rows, once per prune class.
-	classCfgs := make([][]itspace.Config, len(rReps))
-	classTL := make([][]float64, len(rReps))
-	parallelFor(ctx, len(rReps), func(ci int) {
-		v := rReps[ci]
-		if len(classKeep[ci]) == len(m.cfgs[v]) {
-			classCfgs[ci] = m.cfgs[v]
-			classTL[ci] = m.tl[v]
-			return
-		}
-		newCfgs := make([]itspace.Config, len(classKeep[ci]))
-		newTL := make([]float64, len(classKeep[ci]))
-		for i, fi := range classKeep[ci] {
-			newCfgs[i] = m.fullCfgs[v][fi]
-			newTL[i] = m.tl[v][fi]
-		}
-		classCfgs[ci] = newCfgs
-		classTL[ci] = newTL
-	})
-	if ctx.Err() != nil {
-		return
-	}
 	for v := 0; v < n; v++ {
-		m.cfgs[v] = classCfgs[rClass[v]]
-		m.tl[v] = classTL[rClass[v]]
+		m.cfgs[v] = classPrune[rClass[v]].cfgs
+		m.tl[v] = classPrune[rClass[v]].tl
 	}
-	// Compact TX tables — gather surviving rows and columns — once per
-	// (edge class, producer prune class, consumer prune class): the survivor
-	// sets on both sides determine the gather, so edges agreeing on all
-	// three share the compacted table.
+	// Compact-class identities: one per (edge class, producer prune class,
+	// consumer prune class) — the survivor sets on both sides determine the
+	// gather, so edges agreeing on all three share the compacted table. The
+	// fingerprint variant (when computed) keys the store's compact entries
+	// and is the edge's final class identity for delta detection.
 	type compactKey struct{ ec, pu, pv int }
 	byKey := make(map[compactKey]int, len(m.edges))
 	cClass := make([]int, len(m.edges))
 	var cReps []int
+	var cKeys []canon.Fingerprint
 	for e := range m.edges {
 		k := compactKey{plan.eClass[e], rClass[m.edges[e][0]], rClass[m.edges[e][1]]}
 		ci, ok := byKey[k]
@@ -275,33 +311,76 @@ func (m *Model) pruneConfigs(ctx context.Context, eps float64, plan *internPlan)
 			ci = len(cReps)
 			byKey[k] = ci
 			cReps = append(cReps, e)
+			if rFPs != nil {
+				w := canon.NewWriter()
+				w.Label("cost.store.compact/v1")
+				w.FP(plan.eFPs[k.ec])
+				w.FP(pKeys[k.pu])
+				w.FP(pKeys[k.pv])
+				cKeys = append(cKeys, w.Sum())
+			}
 		}
 		cClass[e] = ci
+	}
+	// Final class fingerprints: a node's tables are determined by its prune
+	// entry identity, an edge's by its compact entry identity.
+	if rFPs != nil {
+		m.vClassFP = make([]canon.Fingerprint, n)
+		for v := 0; v < n; v++ {
+			m.vClassFP[v] = pKeys[rClass[v]]
+		}
+		m.eClassFP = make([]canon.Fingerprint, len(m.edges))
+		for e := range m.edges {
+			m.eClassFP[e] = cKeys[cClass[e]]
+		}
+	}
+	if !anyPruned {
+		// Nothing pruned anywhere: every compacted table would alias the
+		// full one, so skip the gather pass entirely.
+		return
 	}
 	cTab := make([][]float64, len(cReps))
 	cTabT := make([][]float64, len(cReps))
 	cKv := make([]int, len(cReps))
 	parallelFor(ctx, len(cReps), func(ci int) {
-		e := cReps[ci]
-		u, v := m.edges[e][0], m.edges[e][1]
-		ku, kv := len(m.fullCfgs[u]), m.txKv[e]
-		nu, nv := len(m.cfgs[u]), len(m.cfgs[v])
-		if nu == ku && nv == kv {
-			cTab[ci], cTabT[ci], cKv[ci] = m.tx[e], m.txT[e], kv
-			return
+		build := func() (any, int64, error) {
+			e := cReps[ci]
+			u, v := m.edges[e][0], m.edges[e][1]
+			ku, kv := len(m.fullCfgs[u]), m.txKv[e]
+			nu, nv := len(m.cfgs[u]), len(m.cfgs[v])
+			if nu == ku && nv == kv {
+				// Neither endpoint pruned: alias the full table (its bytes
+				// are already charged to the edge entry).
+				return compactTables{tab: m.tx[e], tabT: m.txT[e], kv: kv}, 0, nil
+			}
+			tab := make([]float64, nu*nv)
+			tabT := make([]float64, nu*nv)
+			old := m.tx[e]
+			for i, cu := range keep[u] {
+				row := old[cu*kv : cu*kv+kv]
+				for j, cv := range keep[v] {
+					c := row[cv]
+					tab[i*nv+j] = c
+					tabT[j*nu+i] = c
+				}
+			}
+			return compactTables{tab: tab, tabT: tabT, kv: nv}, int64(len(tab)) * 16, nil
 		}
-		tab := make([]float64, nu*nv)
-		tabT := make([]float64, nu*nv)
-		old := m.tx[e]
-		for i, cu := range keep[u] {
-			row := old[cu*kv : cu*kv+kv]
-			for j, cv := range keep[v] {
-				c := row[cv]
-				tab[i*nv+j] = c
-				tabT[j*nu+i] = c
+		var ct compactTables
+		if store == nil {
+			val, _, _ := build()
+			ct = val.(compactTables)
+		} else {
+			val, hit, bytes, _ := store.getOrBuild(cKeys[ci], build)
+			ct = val.(compactTables)
+			if hit {
+				storeHits.Add(1)
+				storeBytes.Add(bytes)
+			} else {
+				storeMiss.Add(1)
 			}
 		}
-		cTab[ci], cTabT[ci], cKv[ci] = tab, tabT, nv
+		cTab[ci], cTabT[ci], cKv[ci] = ct.tab, ct.tabT, ct.kv
 	})
 	if ctx.Err() != nil {
 		return

@@ -59,6 +59,14 @@ type Document struct {
 	// per-occurrence build.
 	TableBytes       int64 `json:"table_bytes,omitempty"`
 	SharedTableBytes int64 `json:"shared_table_bytes,omitempty"`
+	// ClassStoreHits / ClassStoreBytes, when set, record the cross-request
+	// sharing of the model build behind this solve: class tables resolved
+	// from the planner's class store instead of rebuilt, and the bytes those
+	// hits aliased. DeltaResolve records that the solve itself was served
+	// incrementally from a retained DP snapshot.
+	ClassStoreHits  int64 `json:"class_store_hits,omitempty"`
+	ClassStoreBytes int64 `json:"class_store_bytes,omitempty"`
+	DeltaResolve    bool  `json:"delta_resolve,omitempty"`
 	// Layers holds one entry per node, in graph node order.
 	Layers []Layer `json:"layers"`
 }

@@ -1,0 +1,264 @@
+package planner
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pase/internal/graph"
+	"pase/internal/machine"
+	"pase/internal/models"
+)
+
+// mutateNode multiplies one named node's FLOPs density — a content-only
+// delta: topology, iteration spaces, and tensor maps are untouched, so the
+// config space (and every DP table shape) is preserved.
+func mutateNode(t *testing.T, g *graph.Graph, name string, factor float64) {
+	t.Helper()
+	for i := range g.Nodes {
+		if g.Nodes[i].Name == name {
+			g.Nodes[i].FlopsPerPoint *= factor
+			return
+		}
+	}
+	t.Fatalf("no node named %q", name)
+}
+
+func requireSameStrategy(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Cost != want.Cost {
+		t.Fatalf("%s: cost %v != oracle %v", label, got.Cost, want.Cost)
+	}
+	if len(got.Strategy) != len(want.Strategy) {
+		t.Fatalf("%s: strategy length %d != oracle %d", label, len(got.Strategy), len(want.Strategy))
+	}
+	for v := range want.Strategy {
+		if !got.Strategy[v].Equal(want.Strategy[v]) {
+			t.Fatalf("%s node %d: strategy %v != oracle %v", label, v, got.Strategy[v], want.Strategy[v])
+		}
+	}
+}
+
+// The acceptance property for the class store: a warm sweep — the same
+// model builds the planner has already served once — performs ZERO
+// redundant class builds. Every reference hits; hits equal total references
+// minus the distinct classes, which were each built exactly once, in the
+// cold pass.
+func TestWarmSweepZeroRedundantClassBuilds(t *testing.T) {
+	bm, err := models.ByName("transformer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := bm.Build(bm.Batch)
+	// ModelCacheSize 1 forces every sweep point to rebuild its model: the
+	// warm pass exercises the class store, not the model cache.
+	pl := New(Config{ModelCacheSize: 1})
+	sweep := func() {
+		for _, p := range []int{2, 4, 8, 16, 32} {
+			if _, err := pl.Model(context.Background(), g, machine.GTX1080Ti(p), bm.Policy(p)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sweep()
+	cold := pl.Stats()
+	coldRefs := cold.ClassStoreHits + cold.ClassStoreMisses
+	if cold.ClassStoreMisses == 0 {
+		t.Fatalf("cold sweep built no classes through the store: %+v", cold)
+	}
+	sweep()
+	warm := pl.Stats()
+	if d := warm.ClassStoreMisses - cold.ClassStoreMisses; d != 0 {
+		t.Errorf("warm sweep rebuilt %d classes, want 0 redundant class builds", d)
+	}
+	if d := warm.ClassStoreHits - cold.ClassStoreHits; d != coldRefs {
+		t.Errorf("warm sweep hit %d references, want all %d the cold sweep made", d, coldRefs)
+	}
+	// hits = total references − distinct classes, with each distinct class
+	// built exactly once ever.
+	total := warm.ClassStoreHits + warm.ClassStoreMisses
+	if warm.ClassStoreHits != total-warm.ClassStoreMisses {
+		t.Errorf("hits %d != references %d − distinct classes %d", warm.ClassStoreHits, total, warm.ClassStoreMisses)
+	}
+	if warm.ClassStoreEvictions != 0 {
+		t.Errorf("store evicted %d entries under the default budget", warm.ClassStoreEvictions)
+	}
+	if warm.ClassStoreSavedBytes <= 0 {
+		t.Errorf("warm sweep saved %d bytes, want > 0", warm.ClassStoreSavedBytes)
+	}
+}
+
+// A small content delta must be served by incremental re-solve — and the
+// result must be byte-identical (cost AND strategy) to a cold solve on a
+// store-less, delta-less oracle planner, at every worker count.
+func TestDeltaResolveByteIdentical(t *testing.T) {
+	bm, err := models.ByName("transformer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 8
+	for _, workers := range []int{1, 4, 0} {
+		g1 := bm.Build(bm.Batch)
+		g2 := bm.Build(bm.Batch)
+		mutateNode(t, g2, "enc0_self_wo", 1.5)
+		opts := Options{Policy: bm.Policy(p), Workers: workers}
+		spec := machine.GTX1080Ti(p)
+
+		pl := New(Config{})
+		base, err := pl.Solve(context.Background(), Request{G: g1, Spec: spec, Opts: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.DeltaResolve {
+			t.Fatalf("workers %d: first solve claims a delta re-solve", workers)
+		}
+		res, err := pl.Solve(context.Background(), Request{G: g2, Spec: spec, Opts: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.DeltaResolve {
+			t.Fatalf("workers %d: mutated-graph solve did not delta re-solve (stats %+v)", workers, pl.Stats())
+		}
+		if st := pl.Stats(); st.DeltaResolves != 1 {
+			t.Errorf("workers %d: DeltaResolves = %d, want 1", workers, st.DeltaResolves)
+		}
+
+		// The oracle: no class store, no delta cache — the plain cold path.
+		oraclePl := New(Config{DisableClassStore: true, DeltaCacheSize: -1})
+		oracle, err := oraclePl.Solve(context.Background(), Request{G: g2, Spec: spec, Opts: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oracle.DeltaResolve {
+			t.Fatal("oracle planner performed a delta re-solve despite DeltaCacheSize -1")
+		}
+		requireSameStrategy(t, "delta vs oracle", res, oracle)
+		if res.States >= base.States {
+			t.Errorf("workers %d: delta re-solve evaluated %d states, cold %d — no work was skipped",
+				workers, res.States, base.States)
+		}
+	}
+}
+
+// The acceptance benchmark: a single-layer delta on Transformer p=32
+// re-solves at least 5x cheaper than the cold solve — asserted on DP states
+// evaluated (deterministic) with a loose wall-clock guard (the measured
+// ratio is ~6x wall, ~6.5x states) — and byte-identical to the oracle.
+func TestDeltaSpeedupTransformer32(t *testing.T) {
+	bm, err := models.ByName("transformer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 32
+	g1 := bm.Build(bm.Batch)
+	g2 := bm.Build(bm.Batch)
+	mutateNode(t, g2, "enc0_self_wo", 1.5)
+	opts := Options{Policy: bm.Policy(p)}
+	spec := machine.GTX1080Ti(p)
+
+	pl := New(Config{})
+	t0 := time.Now()
+	cold, err := pl.Solve(context.Background(), Request{G: g1, Spec: spec, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldWall := time.Since(t0)
+	t0 = time.Now()
+	delta, err := pl.Solve(context.Background(), Request{G: g2, Spec: spec, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaWall := time.Since(t0)
+	if !delta.DeltaResolve {
+		t.Fatalf("p=32 single-layer delta was not served incrementally (stats %+v)", pl.Stats())
+	}
+	states := float64(cold.States) / float64(delta.States)
+	wall := float64(coldWall) / float64(deltaWall)
+	t.Logf("cold %v / %d states, delta %v / %d states: %.2fx wall, %.2fx states",
+		coldWall, cold.States, deltaWall, delta.States, wall, states)
+	if states < 5 {
+		t.Errorf("delta re-solve evaluated only %.2fx fewer states, want >= 5x", states)
+	}
+	// Wall clock is noisy on shared runners; the deterministic states ratio
+	// above is the acceptance assertion, this guards against a re-solve that
+	// somehow does full-cold work.
+	if wall < 2 {
+		t.Errorf("delta re-solve was only %.2fx faster in wall time, want well above 2x", wall)
+	}
+
+	oraclePl := New(Config{DisableClassStore: true, DeltaCacheSize: -1})
+	oracle, err := oraclePl.Solve(context.Background(), Request{G: g2, Spec: spec, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameStrategy(t, "p=32 delta vs oracle", delta, oracle)
+}
+
+// A delta that dirties everything — here a different machine spec, which
+// changes every class fingerprint at the same topology — must fall back to
+// the full solve, still byte-identical to the oracle, and be counted.
+func TestDeltaFallbackLargeDelta(t *testing.T) {
+	bm, err := models.ByName("transformer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 8
+	g := bm.Build(bm.Batch)
+	opts := Options{Policy: bm.Policy(p)}
+
+	pl := New(Config{})
+	if _, err := pl.Solve(context.Background(), Request{G: g, Spec: machine.GTX1080Ti(p), Opts: opts}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Solve(context.Background(), Request{G: g, Spec: machine.RTX2080Ti(p), Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeltaResolve {
+		t.Error("an every-vertex delta was admitted as an incremental re-solve")
+	}
+	st := pl.Stats()
+	if st.DeltaFallbacks == 0 {
+		t.Errorf("no delta fallback counted: %+v", st)
+	}
+	if st.DeltaResolves != 0 {
+		t.Errorf("DeltaResolves = %d, want 0", st.DeltaResolves)
+	}
+
+	oraclePl := New(Config{DisableClassStore: true, DeltaCacheSize: -1})
+	oracle, err := oraclePl.Solve(context.Background(), Request{G: g, Spec: machine.RTX2080Ti(p), Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameStrategy(t, "fallback vs oracle", res, oracle)
+}
+
+// DeltaCacheSize -1 disables snapshot retention entirely: a second
+// same-topology solve runs cold and counts neither a re-solve nor a
+// fallback.
+func TestDeltaCacheDisabled(t *testing.T) {
+	bm, err := models.ByName("rnnlm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 8
+	g1 := bm.Build(bm.Batch)
+	g2 := bm.Build(bm.Batch)
+	g2.Nodes[1].FlopsPerPoint *= 2
+	opts := Options{Policy: bm.Policy(p)}
+	spec := machine.GTX1080Ti(p)
+	pl := New(Config{DeltaCacheSize: -1})
+	if _, err := pl.Solve(context.Background(), Request{G: g1, Spec: spec, Opts: opts}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Solve(context.Background(), Request{G: g2, Spec: spec, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeltaResolve {
+		t.Error("DeltaCacheSize -1 still produced a delta re-solve")
+	}
+	if st := pl.Stats(); st.DeltaResolves != 0 || st.DeltaFallbacks != 0 {
+		t.Errorf("delta counters moved with the cache disabled: %+v", st)
+	}
+}

@@ -177,6 +177,17 @@ type Result struct {
 	// sharing saved versus a per-occurrence build.
 	TableBytes       int64
 	SharedTableBytes int64
+	// ClassStoreHits is how many class references this request's model build
+	// resolved from the planner's cross-request class store instead of
+	// building; ClassStoreBytes is the table bytes those hits aliased. Zero
+	// for cached results, baseline methods, and store-less planners.
+	ClassStoreHits  int64
+	ClassStoreBytes int64
+	// DeltaResolve reports that this result came from an incremental
+	// re-solve: the planner found a cached DP snapshot for the same graph
+	// topology and solve shape, and re-filled only the tables the request's
+	// delta dirtied.
+	DeltaResolve bool
 }
 
 // clone returns an independent copy whose strategy the caller may mutate.
@@ -212,6 +223,15 @@ type BatchItem struct {
 	Err    error
 }
 
+// DefaultDeltaThreshold is the largest dirty-entries fraction an incremental
+// re-solve is allowed: a cached snapshot is reused only when at most this
+// fraction of the DP tables' entries must be re-filled (Config.DeltaThreshold
+// overrides). Measured on the paper's Transformer, single-layer attribute
+// deltas re-fill 0.1–0.25 of the entries while cross-cutting changes exceed
+// 0.5, so 0.3 admits the former and falls back to a full solve for the
+// latter.
+const DefaultDeltaThreshold = 0.3
+
 // Config sizes a Planner. The zero value selects sensible defaults.
 type Config struct {
 	// ModelCacheSize bounds the cost-model LRU (default 16 models). Models
@@ -229,6 +249,29 @@ type Config struct {
 	// fingerprint, so two planners with different defaults never share
 	// stale cache entries through an exported fingerprint.
 	DefaultPruneEpsilon float64
+	// ClassStoreBytes bounds the planner's cross-request class store — the
+	// cache of class-level cost tables every model build of this planner
+	// resolves from, so a class (a Transformer encoder layer at p=32, say)
+	// is built once ever per planner rather than once per model. Zero
+	// selects cost.DefaultClassStoreBytes.
+	ClassStoreBytes int64
+	// DisableClassStore turns cross-request class sharing off — every model
+	// build constructs its own tables. This is the byte-identity oracle the
+	// store's property tests pin store-enabled builds against.
+	DisableClassStore bool
+	// DeltaCacheSize bounds the incremental re-solve cache: how many
+	// (model, DP snapshot) pairs the planner retains, keyed by graph
+	// topology and solve shape, so a request differing from a cached one by
+	// a small delta re-runs only the affected DP tables. Snapshots retain
+	// the full DP tables of their solve, so keep this small. Zero selects
+	// 2; negative disables incremental re-solve entirely (every dp solve
+	// runs cold through the shared arena).
+	DeltaCacheSize int
+	// DeltaThreshold is the largest dirty-entries fraction admitted to an
+	// incremental re-solve (see DefaultDeltaThreshold, the zero default);
+	// above it the planner falls back to a full solve. Negative disables
+	// delta admission while still retaining snapshots.
+	DeltaThreshold float64
 }
 
 func (c Config) modelCacheSize() int {
@@ -250,6 +293,23 @@ func (c Config) batchWorkers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return c.BatchWorkers
+}
+
+func (c Config) deltaCacheSize() int {
+	if c.DeltaCacheSize == 0 {
+		return 2
+	}
+	if c.DeltaCacheSize < 0 {
+		return 0
+	}
+	return c.DeltaCacheSize
+}
+
+func (c Config) deltaThreshold() float64 {
+	if c.DeltaThreshold == 0 {
+		return DefaultDeltaThreshold
+	}
+	return c.DeltaThreshold
 }
 
 // Stats is a snapshot of the planner's cache and dedup counters. "One
@@ -291,6 +351,24 @@ type Stats struct {
 	VertexClasses    int64 `json:"vertex_classes"`
 	EdgeClasses      int64 `json:"edge_classes"`
 	SharedTableBytes int64 `json:"shared_table_bytes"`
+	// ClassStoreHits / ClassStoreMisses count class references resolved from
+	// vs built into the planner's cross-request class store, across every
+	// model this planner built; ClassStoreBytes is the store's resident
+	// table bytes, ClassStoreSavedBytes the cumulative bytes hits aliased
+	// instead of rebuilding, and ClassStoreEvictions the entries dropped to
+	// hold the store's budget. All zero when Config.DisableClassStore.
+	ClassStoreHits       int64 `json:"class_store_hits"`
+	ClassStoreMisses     int64 `json:"class_store_misses"`
+	ClassStoreBytes      int64 `json:"class_store_bytes"`
+	ClassStoreSavedBytes int64 `json:"class_store_saved_bytes"`
+	ClassStoreEvictions  int64 `json:"class_store_evictions"`
+	// DeltaResolves counts dp solves served by incremental re-solve (only
+	// the changed DP tables re-filled from a cached snapshot);
+	// DeltaFallbacks counts solves that found a comparable snapshot but ran
+	// cold because the delta exceeded the threshold (or the models were not
+	// comparable).
+	DeltaResolves  int64 `json:"delta_resolves"`
+	DeltaFallbacks int64 `json:"delta_fallbacks"`
 }
 
 // solveFlight is one in-flight underlying solve. waiters counts the callers
@@ -320,13 +398,28 @@ type Planner struct {
 	// runs (cache misses, batch fan-outs, Compare): sync.Pool-backed size
 	// classes, shared safely by concurrent solves.
 	arena *core.Arena
+	// store is the planner's cross-request class store: every model build
+	// resolves class-level cost tables from it, so a class is built once
+	// ever per planner across distinct graphs, sweep points, and concurrent
+	// requests. nil when Config.DisableClassStore.
+	store *cost.ClassStore
 
 	mu           sync.Mutex
 	models       *lruCache[canon.Fingerprint, *cost.Model]
 	results      *lruCache[canon.Fingerprint, *Result]
 	solveFlights map[canon.Fingerprint]*solveFlight
 	modelFlights map[canon.Fingerprint]*modelFlight
+	deltas       *lruCache[canon.Fingerprint, *deltaEntry]
 	stats        Stats
+}
+
+// deltaEntry is one retained dp solve: the model it ran over and the DP
+// snapshot (every cost and choice table), keyed by the solve's topology/shape
+// fingerprint (deltaKey). A later request under the same key diffs its model
+// against this one by final class fingerprints to find what changed.
+type deltaEntry struct {
+	model *cost.Model
+	snap  *core.Snapshot
 }
 
 // New returns a Planner sized by cfg (zero value: defaults).
@@ -337,12 +430,18 @@ func New(cfg Config) *Planner {
 		solveFlights: map[canon.Fingerprint]*solveFlight{},
 		modelFlights: map[canon.Fingerprint]*modelFlight{},
 	}
+	if !cfg.DisableClassStore {
+		p.store = cost.NewClassStore(cfg.ClassStoreBytes)
+	}
 	p.models = newLRU[canon.Fingerprint, *cost.Model](cfg.modelCacheSize(), func(canon.Fingerprint, *cost.Model) {
 		p.stats.ModelEvictions++
 	})
 	p.results = newLRU[canon.Fingerprint, *Result](cfg.resultCacheSize(), func(canon.Fingerprint, *Result) {
 		p.stats.ResultEvictions++
 	})
+	if n := cfg.deltaCacheSize(); n > 0 {
+		p.deltas = newLRU[canon.Fingerprint, *deltaEntry](n, nil)
+	}
 	return p
 }
 
@@ -543,10 +642,12 @@ func (p *Planner) doSolve(ctx context.Context, req Request, modelFP, solveFP can
 		if method == "mcmc" {
 			res, err = runMCMC(ctx, m, req.Opts, start)
 		} else {
-			res, err = runDP(ctx, m, req.Opts, start, p.arena)
+			res, err = p.runDPCached(ctx, m, req.Opts, start)
 		}
 		if res != nil {
 			res.ModelTime = modelTime
+			res.ClassStoreHits = m.ClassStoreHits()
+			res.ClassStoreBytes = m.ClassStoreBytes()
 		}
 	}
 	if err != nil {
@@ -586,23 +687,16 @@ func (p *Planner) solveWithModel(ctx context.Context, req Request, start time.Ti
 	return res, nil
 }
 
-// runDP runs ordering + the dependent-set DP over a built model, drawing
-// table buffers from the planner's shared arena.
-func runDP(ctx context.Context, m *cost.Model, opts Options, start time.Time, arena *core.Arena) (*Result, error) {
-	var sq *seq.Sequence
+// dpSeq builds the vertex ordering a dp request solves under.
+func dpSeq(m *cost.Model, opts Options) *seq.Sequence {
 	if opts.BreadthFirst {
-		sq = seq.BFS(m.G)
-	} else {
-		sq = seq.Generate(m.G)
+		return seq.BFS(m.G)
 	}
-	r, err := core.Solve(ctx, m, sq, core.Options{
-		MaxTableEntries: opts.MaxTableEntries,
-		Workers:         opts.Workers,
-		Arena:           arena,
-	})
-	if err != nil {
-		return nil, err
-	}
+	return seq.Generate(m.G)
+}
+
+// dpResult lifts a core DP result into the planner's Result shape.
+func dpResult(r *core.Result, start time.Time) *Result {
 	return &Result{
 		Strategy:         r.Strategy,
 		Cost:             r.Cost,
@@ -615,7 +709,147 @@ func runDP(ctx context.Context, m *cost.Model, opts Options, start time.Time, ar
 		EdgeClasses:      r.Stats.EdgeClasses,
 		TableBytes:       r.Stats.TableBytes,
 		SharedTableBytes: r.Stats.SharedTableBytes,
-	}, nil
+	}
+}
+
+// runDP runs ordering + the dependent-set DP over a built model, drawing
+// table buffers from the planner's shared arena. It is the cold path:
+// Request.Model solves and planners with incremental re-solve disabled.
+func runDP(ctx context.Context, m *cost.Model, opts Options, start time.Time, arena *core.Arena) (*Result, error) {
+	r, err := core.Solve(ctx, m, dpSeq(m, opts), core.Options{
+		MaxTableEntries: opts.MaxTableEntries,
+		Workers:         opts.Workers,
+		Arena:           arena,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dpResult(r, start), nil
+}
+
+// deltaKey fingerprints the solve shape an incremental re-solve requires two
+// requests to share: the graph's topology (node count and the exact edge
+// list with input slots — what pins the vertex ordering, the dependent sets,
+// and the edge indexing), the memory budget, and the ordering choice.
+// Everything content-level — node attributes, the machine, the enumeration
+// policy, the prune epsilon — is deliberately excluded: content is the
+// delta, detected per class by diffModels (all of it enters the final class
+// fingerprints, so a machine or policy change dirties every vertex and falls
+// back to a full solve through the ordinary threshold).
+func deltaKey(g *graph.Graph, opts Options) canon.Fingerprint {
+	w := canon.NewWriter()
+	w.Label("pase.delta-key/v1")
+	w.Int(g.Len())
+	edges := g.Edges()
+	w.Len(len(edges))
+	for _, uv := range edges {
+		w.Int(uv[0])
+		w.Int(uv[1])
+		w.Int(g.InputIndex(uv[0], uv[1]))
+	}
+	budget := opts.MaxTableEntries
+	if budget <= 0 {
+		budget = core.DefaultMaxTableEntries
+	}
+	w.I64(budget)
+	w.Bool(opts.BreadthFirst)
+	return w.Sum()
+}
+
+// diffModels compares two same-topology models by their final class
+// fingerprints and returns the dirty-vertex set: a vertex is dirty when its
+// own class changed or an incident edge's class changed. ok is false when
+// the models are not comparable — mismatched shapes (a deltaKey collision
+// would be needed) or a model built without fingerprints (DisableInterning).
+func diffModels(old, new *cost.Model) (dirtyV []bool, ok bool) {
+	n := new.G.Len()
+	oldEdges, newEdges := old.Edges(), new.Edges()
+	if old.G.Len() != n || len(oldEdges) != len(newEdges) {
+		return nil, false
+	}
+	var zero canon.Fingerprint
+	dirtyV = make([]bool, n)
+	for v := 0; v < n; v++ {
+		fo, fn := old.VertexClassFP(v), new.VertexClassFP(v)
+		if fo == zero || fn == zero {
+			return nil, false
+		}
+		if fo != fn {
+			dirtyV[v] = true
+		}
+	}
+	for e, uv := range newEdges {
+		if oldEdges[e] != uv {
+			return nil, false
+		}
+		if old.EdgeClassFP(e) != new.EdgeClassFP(e) {
+			dirtyV[uv[0]] = true
+			dirtyV[uv[1]] = true
+		}
+	}
+	return dirtyV, true
+}
+
+// runDPCached is the dp path for planner-built models: it retains each
+// solve's DP snapshot and, when a later request's model differs from a
+// cached snapshot's by a small enough delta (dirty-entries fraction at most
+// the threshold), re-fills only the dirtied tables via core.Resolve —
+// byte-identical to the full solve it replaces. Everything else (cold
+// topologies, large deltas, incomparable models) runs a full solve and
+// refreshes the snapshot.
+func (p *Planner) runDPCached(ctx context.Context, m *cost.Model, opts Options, start time.Time) (*Result, error) {
+	if p.deltas == nil {
+		return runDP(ctx, m, opts, start, p.arena)
+	}
+	coreOpts := core.Options{
+		MaxTableEntries: opts.MaxTableEntries,
+		Workers:         opts.Workers,
+	}
+	key := deltaKey(m.G, opts)
+	p.mu.Lock()
+	ent, found := p.deltas.Get(key)
+	p.mu.Unlock()
+	if found {
+		admitted := false
+		if dirtyV, comparable := diffModels(ent.model, m); comparable {
+			if thr := p.cfg.deltaThreshold(); thr >= 0 {
+				dirty, total := ent.snap.EstimateDelta(m, dirtyV)
+				admitted = total > 0 && float64(dirty) <= thr*float64(total)
+			}
+			if admitted {
+				r, snap, err := core.Resolve(ctx, m, ent.snap, dirtyV, coreOpts)
+				if err == nil {
+					p.mu.Lock()
+					p.deltas.Put(key, &deltaEntry{model: m, snap: snap})
+					p.stats.DeltaResolves++
+					p.mu.Unlock()
+					res := dpResult(r, start)
+					res.DeltaResolve = true
+					return res, nil
+				}
+				if ctx.Err() != nil {
+					return nil, context.Cause(ctx)
+				}
+				// Any other Resolve failure (ErrOOM, an unsound snapshot)
+				// falls through to the full solve, which answers on its own
+				// terms.
+				admitted = false
+			}
+		}
+		if !admitted {
+			p.mu.Lock()
+			p.stats.DeltaFallbacks++
+			p.mu.Unlock()
+		}
+	}
+	r, snap, err := core.SolveRetain(ctx, m, dpSeq(m, opts), coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.deltas.Put(key, &deltaEntry{model: m, snap: snap})
+	p.mu.Unlock()
+	return dpResult(r, start), nil
 }
 
 // runMCMC runs the FlexFlow-substitute chain over a built model, seeded by
@@ -705,6 +939,7 @@ func (p *Planner) model(ctx context.Context, req Request, modelFP canon.Fingerpr
 	go func() {
 		m, err := cost.NewModelWith(buildCtx, req.G, req.Spec, req.Opts.Policy, cost.BuildOptions{
 			PruneEpsilon: req.Opts.PruneEpsilon,
+			Store:        p.store,
 		})
 		p.mu.Lock()
 		if p.modelFlights[modelFP] == fl {
@@ -802,12 +1037,25 @@ func (p *Planner) SolveBatch(ctx context.Context, reqs []Request) []BatchItem {
 	return out
 }
 
-// Stats returns a snapshot of the planner's counters.
+// Stats returns a snapshot of the planner's counters. The class-store
+// counters are read from the store at snapshot time, so they include builds
+// currently in flight.
 func (p *Planner) Stats() Stats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	st := p.stats
+	p.mu.Unlock()
+	ss := p.store.Stats()
+	st.ClassStoreHits = ss.Hits
+	st.ClassStoreMisses = ss.Misses
+	st.ClassStoreBytes = ss.Bytes
+	st.ClassStoreSavedBytes = ss.SavedBytes
+	st.ClassStoreEvictions = ss.Evictions
+	return st
 }
+
+// ClassStore exposes the planner's cross-request class store for inspection
+// (nil when Config.DisableClassStore).
+func (p *Planner) ClassStore() *cost.ClassStore { return p.store }
 
 // CacheSizes reports the current model- and result-cache entry counts.
 func (p *Planner) CacheSizes() (models, results int) {

@@ -193,14 +193,21 @@ func ValidateMethod(method string) error { return planner.ValidateMethod(method)
 // Planner is the serving layer above the solve pipeline: bounded LRU caches
 // for built cost models and solved results keyed by canonical request
 // fingerprints, singleflight deduplication of concurrent identical requests,
-// and batch fan-out across a worker pool. Safe for concurrent use. Graphs
-// handed to a planner must not be mutated afterwards (see Find).
+// batch fan-out across a worker pool, a cross-request class store (class-level
+// cost tables built once ever per planner, shared across distinct graphs and
+// sweep points), and incremental delta re-solve (a request differing from a
+// retained solve by a small delta re-fills only the affected DP tables). Safe
+// for concurrent use. Graphs handed to a planner must not be mutated
+// afterwards (see Find).
 type Planner = planner.Planner
 
-// PlannerConfig sizes a Planner's caches and batch worker pool.
+// PlannerConfig sizes a Planner's caches, batch worker pool, cross-request
+// class store (ClassStoreBytes, DisableClassStore), and incremental re-solve
+// cache (DeltaCacheSize, DeltaThreshold).
 type PlannerConfig = planner.Config
 
-// PlannerStats is a snapshot of a Planner's cache and dedup counters.
+// PlannerStats is a snapshot of a Planner's cache, dedup, class-store, and
+// delta re-solve counters.
 type PlannerStats = planner.Stats
 
 // SolveRequest is one solve request: graph, machine, options (including the
