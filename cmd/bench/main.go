@@ -20,7 +20,7 @@
 //   - TableI_PaSE/<model>/p=<p>: model build + FINDBESTSTRATEGY, the paper's
 //     Table I strategy-search time.
 //   - ModelBuild/<model>/p=<p>: cost-model construction alone (table builds
-//     + config-space reduction), with the structural-sharing stats
+//   - config-space reduction), with the structural-sharing stats
 //     (vertex/edge classes, resident and shared table bytes) as extras —
 //     build time and bytes tracked separately from solve time.
 //   - Fig5_GenerateSeq/<model>: the GENERATESEQ ordering alone.
@@ -30,6 +30,10 @@
 //     every device count through one planner, with the cross-request class
 //     store empty (cold) vs fully resident (warm), plus the store's
 //     hit/miss/bytes counters as extras.
+//   - Beam/GPTDeep/W=<w>: a single bounded-width anytime-beam pass on a
+//     prebuilt GPT-scale decoder model (gptdeep:12) — the graph whose exact
+//     DP exceeds the default table budget — with the achieved optimality
+//     gap, the width, and the states explored as extras.
 package main
 
 import (
@@ -304,6 +308,47 @@ func run(cfg config) error {
 		},
 	)
 
+	// Anytime beam on the GPT-scale decoder: the bounded-latency path for
+	// graphs the exact DP cannot finish. Single pass per width (GapTarget
+	// -1) so the measurement is deterministic, over a prebuilt model so it
+	// tracks solve time like SolveWorkers.
+	gbm, err := pase.BenchmarkByName("gptdeep:12")
+	if err != nil {
+		return err
+	}
+	gg := gbm.Build(gbm.Batch)
+	gm, err := pase.NewModel(gg, pase.GTX1080Ti(p), gbm.Policy(p))
+	if err != nil {
+		return err
+	}
+	for _, width := range []int{8, 32} {
+		var gap float64
+		var states int64
+		ns, err := measure(reps, func() error {
+			res, err := pase.Solve(context.Background(), pase.SolveRequest{
+				Model: gm, Opts: pase.Options{Method: "beam", BeamWidth: width, GapTarget: -1},
+			})
+			if err != nil {
+				return err
+			}
+			gap, states = res.Gap, res.States
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("Beam/GPTDeep W=%d: %w", width, err)
+		}
+		rep.Results = append(rep.Results, Result{
+			Name:    fmt.Sprintf("Beam/GPTDeep/W=%d", width),
+			NsPerOp: ns,
+			Reps:    reps,
+			Extra: map[string]float64{
+				"gap":             gap,
+				"beam_width":      float64(width),
+				"states_explored": float64(states),
+			},
+		})
+	}
+
 	if cfg.memProfile != "" {
 		f, err := os.Create(cfg.memProfile)
 		if err != nil {
@@ -378,6 +423,7 @@ func regressionCheck(rep Report, against string, factor float64, p int) error {
 		fmt.Sprintf("TableI_PaSE/Transformer/p=%d", p),
 		fmt.Sprintf("ModelBuild/Transformer/p=%d", p),
 		"Sweep/Transformer/p=2..32/warm",
+		"Beam/GPTDeep/W=32",
 	} {
 		if err := regressionCheckOne(rep, traj, against, name, factor); err != nil {
 			return err

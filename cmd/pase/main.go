@@ -10,12 +10,18 @@
 //	pase -model transformer -gpus 16 -method expert:transformer
 //	pase -model inceptionv3 -gpus 32 -timeout 10s
 //	pase -model rnnlm -gpus 16 -machine uniform:8:11.3e12:12e9:10e9
+//	pase -model gptdeep:12 -gpus 32 -method beam -width 32 -timeout 5s
 //	pase compare -model transformer -gpus 32 -machine 2080ti
 //
 // Every solve runs through a planner with a cancellable context: -timeout
 // bounds the whole run (a deadline aborts a model build or DP mid-flight
 // within milliseconds), and -method selects the strategy-search method (dp,
-// mcmc, dataparallel, expert:<family>).
+// beam, mcmc, dataparallel, expert:<family>). Method beam is the anytime
+// bounded-width DP: -width caps the retained states per DP table, -gap sets
+// the optimality-gap target refinement works toward under the -timeout
+// deadline, and the summary reports the achieved gap — the graphs the exact
+// DP cannot finish (gptdeep:<layers>) still get a valid strategy with a
+// proven quality bound.
 package main
 
 import (
@@ -38,16 +44,18 @@ func main() {
 		return
 	}
 	var (
-		model   = flag.String("model", "alexnet", "benchmark model: alexnet, inceptionv3, rnnlm, transformer")
+		model   = flag.String("model", "alexnet", "benchmark model: alexnet, inceptionv3, rnnlm, transformer, or gptdeep[:layers]")
 		gpus    = flag.Int("gpus", 32, "device count p")
 		mach    = flag.String("machine", "1080ti", "machine profile: 1080ti, 2080ti, or uniform:<devices-per-node>:<flops>:<intra-bw>:<inter-bw>")
-		method  = flag.String("method", "dp", "solve method: dp, mcmc, dataparallel, or expert:<family>")
+		method  = flag.String("method", "dp", "solve method: dp, beam, mcmc, dataparallel, or expert:<family>")
+		width   = flag.Int("width", 0, "beam frontier width for -method beam (0 = unbounded: runs the exact DP)")
+		gap     = flag.Float64("gap", 0, "beam optimality-gap target: >0 refines until reached, 0 refines under -timeout, <0 single pass")
 		timeout = flag.Duration("timeout", 0, "abort the solve after this long (0 = no deadline)")
 		compare = flag.Bool("compare", false, "deprecated: use the compare subcommand (runs it after the solve)")
 		export  = flag.String("export", "", "write the strategy as JSON to this file")
 	)
 	flag.Parse()
-	if err := run(*model, *gpus, *mach, *method, *timeout, *compare, *export); err != nil {
+	if err := run(*model, *gpus, *mach, *method, *width, *gap, *timeout, *compare, *export); err != nil {
 		fmt.Fprintln(os.Stderr, "pase:", err)
 		os.Exit(1)
 	}
@@ -61,7 +69,7 @@ func withDeadline(timeout time.Duration) (context.Context, context.CancelFunc) {
 	return context.WithCancel(context.Background())
 }
 
-func run(model string, gpus int, mach, method string, timeout time.Duration, compare bool, exportPath string) error {
+func run(model string, gpus int, mach, method string, width int, gap float64, timeout time.Duration, compare bool, exportPath string) error {
 	bm, err := pase.BenchmarkByName(model)
 	if err != nil {
 		return err
@@ -82,7 +90,7 @@ func run(model string, gpus int, mach, method string, timeout time.Duration, com
 	res, err := pl.Solve(ctx, pase.SolveRequest{
 		G:    g,
 		Spec: spec,
-		Opts: pase.Options{Policy: bm.Policy(gpus), Method: method},
+		Opts: pase.Options{Policy: bm.Policy(gpus), Method: method, BeamWidth: width, GapTarget: gap},
 	})
 	if err != nil {
 		return err
@@ -92,6 +100,11 @@ func run(model string, gpus int, mach, method string, timeout time.Duration, com
 	fmt.Printf("search time: %s (model %s)   cost: %.4g s/step   M=%d   states=%d\n",
 		report.Duration(res.SearchTime), report.Duration(res.ModelTime), res.Cost, res.MaxDepSize, res.States)
 	fmt.Printf("config space: K-effective=%d (%d configs pruned)\n", res.KEffective, res.PrunedConfigs)
+	if res.BeamWidth > 0 {
+		st := pl.Stats()
+		fmt.Printf("anytime: width=%d gap=%.4g exact=%v (beam solves %d, fallbacks %d)\n",
+			res.BeamWidth, res.Gap, res.Exact, st.BeamSolves, st.BeamFallbacks)
+	}
 	if res.VertexClasses > 0 {
 		fmt.Printf("structure: %d vertex classes / %d nodes, %d edge classes, tables %.1f MB resident (%.1f MB shared)\n",
 			res.VertexClasses, g.Len(), res.EdgeClasses,
@@ -143,6 +156,9 @@ func run(model string, gpus int, mach, method string, timeout time.Duration, com
 		doc.ClassStoreHits = res.ClassStoreHits
 		doc.ClassStoreBytes = res.ClassStoreBytes
 		doc.DeltaResolve = res.DeltaResolve
+		doc.Gap = res.Gap
+		doc.Exact = res.Exact
+		doc.BeamWidth = res.BeamWidth
 		f, err := os.Create(exportPath)
 		if err != nil {
 			return err
@@ -158,7 +174,7 @@ func run(model string, gpus int, mach, method string, timeout time.Duration, com
 		return nil
 	}
 	fmt.Println()
-	return renderCompare(ctx, pl, bm, g, spec, gpus)
+	return renderCompare(ctx, pl, bm, g, spec, gpus, width)
 }
 
 // compareMain is the compare subcommand: all methods on one model, printed
@@ -166,9 +182,10 @@ func run(model string, gpus int, mach, method string, timeout time.Duration, com
 func compareMain(args []string) error {
 	fs := flag.NewFlagSet("pase compare", flag.ExitOnError)
 	var (
-		model   = fs.String("model", "alexnet", "benchmark model: alexnet, inceptionv3, rnnlm, transformer")
+		model   = fs.String("model", "alexnet", "benchmark model: alexnet, inceptionv3, rnnlm, transformer, or gptdeep[:layers]")
 		gpus    = fs.Int("gpus", 32, "device count p")
 		mach    = fs.String("machine", "1080ti", "machine profile: 1080ti, 2080ti, or uniform:...")
+		width   = fs.Int("width", 0, "beam frontier width: >0 adds a beam column to the comparison")
 		timeout = fs.Duration("timeout", 0, "abort the comparison after this long (0 = no deadline)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -187,15 +204,17 @@ func compareMain(args []string) error {
 	g := bm.Build(bm.Batch)
 	pl := pase.NewPlanner(pase.PlannerConfig{})
 	fmt.Printf("%s on %d × %s (batch %d)\n", bm.Name, *gpus, spec.Name, bm.Batch)
-	return renderCompare(ctx, pl, bm, g, spec, *gpus)
+	return renderCompare(ctx, pl, bm, g, spec, *gpus, *width)
 }
 
-// renderCompare runs Planner.Compare and prints the paper-style table.
-func renderCompare(ctx context.Context, pl *pase.Planner, bm pase.Benchmark, g *pase.Graph, spec pase.Machine, gpus int) error {
+// renderCompare runs Planner.Compare and prints the paper-style table. A
+// positive beam width adds the anytime-beam row (quality vs latency against
+// the exact dp row).
+func renderCompare(ctx context.Context, pl *pase.Planner, bm pase.Benchmark, g *pase.Graph, spec pase.Machine, gpus, width int) error {
 	cmp, err := pl.Compare(ctx, pase.CompareRequest{
 		G:      g,
 		Spec:   spec,
-		Opts:   pase.Options{Policy: bm.Policy(gpus)},
+		Opts:   pase.Options{Policy: bm.Policy(gpus), BeamWidth: width},
 		Batch:  bm.Batch,
 		Family: bm.Family,
 	})
@@ -204,17 +223,25 @@ func renderCompare(ctx context.Context, pl *pase.Planner, bm pase.Benchmark, g *
 	}
 	tb := &report.Table{
 		Title:  fmt.Sprintf("Method comparison (speedups over %s, paper Fig. 6)", cmp.Baseline),
-		Header: []string{"Method", "Cost (s/step)", "Step (ms)", "Speedup vs DP", "Search"},
+		Header: []string{"Method", "Cost (s/step)", "Step (ms)", "Speedup vs DP", "Gap", "Search"},
 	}
 	for _, e := range cmp.Entries {
 		if e.Err != nil {
-			tb.Add(e.Method, "error: "+e.Err.Error(), "", "", "")
+			tb.Add(e.Method, "error: "+e.Err.Error(), "", "", "", "")
 			continue
+		}
+		gapCol := "-"
+		switch {
+		case e.Result.Exact:
+			gapCol = "exact"
+		case e.Result.BeamWidth > 0:
+			gapCol = fmt.Sprintf("%.3g", e.Result.Gap)
 		}
 		tb.Add(e.Method,
 			fmt.Sprintf("%.4g", e.Result.Cost),
 			fmt.Sprintf("%.3f", e.Step.StepSeconds*1e3),
 			fmt.Sprintf("%.2f", e.Speedup),
+			gapCol,
 			report.Duration(e.Result.SearchTime))
 	}
 	return tb.Render(os.Stdout)

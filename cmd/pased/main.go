@@ -19,6 +19,8 @@
 //	    -d '{"model":"alexnet","gpus":8,"machine":"1080ti"}'
 //	curl -s -X POST localhost:8555/v1/solve \
 //	    -d '{"model":"alexnet","gpus":8,"options":{"method":"expert:cnn"}}'
+//	curl -s -X POST localhost:8555/v1/solve \
+//	    -d '{"model":"gptdeep:12","gpus":32,"options":{"method":"beam","beam_width":32}}'
 //	curl -s -X POST localhost:8555/v1/batch \
 //	    -d '{"requests":[{"model":"alexnet","gpus":8},{"model":"rnnlm","gpus":16}]}'
 //	curl -s -X POST localhost:8555/v1/compare \
@@ -85,9 +87,18 @@ type solveRequest struct {
 // RequireFullDegree false selects the benchmark's default policy for p;
 // set any policy field to take manual control.
 type solveOptions struct {
-	// Method selects the solve method: dp (default), mcmc, dataparallel, or
-	// expert:<family> with family cnn, rnn, or transformer.
+	// Method selects the solve method: dp (default), beam (anytime
+	// bounded-width DP), mcmc, dataparallel, or expert:<family> with family
+	// cnn, rnn, or transformer.
 	Method string `json:"method,omitempty"`
+	// BeamWidth bounds the beam method's frontier (top-W states per DP
+	// table). Omitted or 0 uses the daemon's -default-beam-width; if no
+	// width resolves the request runs the exact DP.
+	BeamWidth int `json:"beam_width,omitempty"`
+	// GapTarget steers beam refinement: > 0 doubles the width until the
+	// optimality gap reaches the target (or the solve deadline); 0 refines
+	// under the deadline; negative runs a single pass at BeamWidth.
+	GapTarget float64 `json:"gap_target,omitempty"`
 	// MCMCSeed seeds the mcmc method's chain (deterministic per seed).
 	MCMCSeed          int64 `json:"mcmc_seed,omitempty"`
 	MaxSplitDims      int   `json:"max_split_dims,omitempty"`
@@ -135,6 +146,13 @@ type solveResponse struct {
 	ClassStoreHits  int64 `json:"class_store_hits"`
 	ClassStoreBytes int64 `json:"class_store_bytes"`
 	DeltaResolve    bool  `json:"delta_resolve"`
+	// Gap / Exact / BeamWidth report the anytime-beam contract: the true
+	// optimum lies in [cost_seconds/(1+gap), cost_seconds]; exact marks
+	// proven optimality; beam_width is the frontier width a beam solve
+	// resolved to (0 for other methods).
+	Gap       float64 `json:"gap"`
+	Exact     bool    `json:"exact"`
+	BeamWidth int     `json:"beam_width"`
 }
 
 type batchRequest struct {
@@ -171,7 +189,12 @@ type compareEntry struct {
 	SearchMs    float64 `json:"search_ms,omitempty"`
 	Cached      bool    `json:"cached,omitempty"`
 	Fingerprint string  `json:"fingerprint,omitempty"`
-	Error       string  `json:"error,omitempty"`
+	// Gap / Exact / BeamWidth carry the beam row's quality-vs-latency
+	// contract (see solveResponse).
+	Gap       float64 `json:"gap,omitempty"`
+	Exact     bool    `json:"exact,omitempty"`
+	BeamWidth int     `json:"beam_width,omitempty"`
+	Error     string  `json:"error,omitempty"`
 }
 
 type compareResponse struct {
@@ -320,11 +343,19 @@ func (s *server) toRequest(sr solveRequest) (pase.SolveRequest, pase.Benchmark, 
 		if o.MaxSplitDims > 0 || o.RequireFullDegree {
 			opts.Policy = pase.EnumPolicy{MaxSplitDims: o.MaxSplitDims, RequireFullDegree: o.RequireFullDegree}
 		}
+		if o.BeamWidth < 0 || o.BeamWidth > maxBeamWidth {
+			return pase.SolveRequest{}, pase.Benchmark{}, fmt.Errorf("beam_width %d out of range [0, %d]", o.BeamWidth, maxBeamWidth)
+		}
+		if o.GapTarget > maxGapTarget {
+			return pase.SolveRequest{}, pase.Benchmark{}, fmt.Errorf("gap_target %g out of range (max %g)", o.GapTarget, float64(maxGapTarget))
+		}
 		opts.Method = o.Method
 		opts.MCMC.Seed = o.MCMCSeed
 		opts.MaxTableEntries = o.MaxTableEntries
 		opts.BreadthFirst = o.BreadthFirst
 		opts.Workers = o.Workers
+		opts.BeamWidth = o.BeamWidth
+		opts.GapTarget = o.GapTarget
 	}
 	return pase.SolveRequest{G: bm.Build(batch), Spec: spec, Opts: opts}, bm, nil
 }
@@ -346,6 +377,9 @@ func toResponse(req pase.SolveRequest, model string, res *pase.Result) (*solveRe
 	doc.ClassStoreHits = res.ClassStoreHits
 	doc.ClassStoreBytes = res.ClassStoreBytes
 	doc.DeltaResolve = res.DeltaResolve
+	doc.Gap = res.Gap
+	doc.Exact = res.Exact
+	doc.BeamWidth = res.BeamWidth
 	return &solveResponse{
 		Strategy:         doc,
 		Method:           res.Method,
@@ -365,6 +399,9 @@ func toResponse(req pase.SolveRequest, model string, res *pase.Result) (*solveRe
 		ClassStoreHits:   res.ClassStoreHits,
 		ClassStoreBytes:  res.ClassStoreBytes,
 		DeltaResolve:     res.DeltaResolve,
+		Gap:              res.Gap,
+		Exact:            res.Exact,
+		BeamWidth:        res.BeamWidth,
 	}, nil
 }
 
@@ -382,8 +419,15 @@ const (
 	// plausible use.
 	maxPruneEpsilon = 1.0
 	// maxCompareMethods bounds an explicit compare method list; the full
-	// default comparison is 4 entries.
+	// default comparison is 5 entries (dataparallel, expert, mcmc, beam, dp).
 	maxCompareMethods = 8
+	// maxBeamWidth caps the wire-supplied beam frontier width: beyond 64Ki
+	// retained states per table the beam approaches the exact DP's memory
+	// profile and the width should be left unbounded instead.
+	maxBeamWidth = 1 << 16
+	// maxGapTarget caps the wire-supplied beam gap target (negatives mean
+	// "single pass" and pass through).
+	maxGapTarget = 1e6
 )
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -513,6 +557,9 @@ func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			we.SearchMs = float64(e.Result.SearchTime.Nanoseconds()) / 1e6
 			we.Cached = e.Result.Cached
 			we.Fingerprint = e.Result.Fingerprint
+			we.Gap = e.Result.Gap
+			we.Exact = e.Result.Exact
+			we.BeamWidth = e.Result.BeamWidth
 		}
 		resp.Entries = append(resp.Entries, we)
 	}
@@ -549,6 +596,7 @@ func main() {
 		noStore      = flag.Bool("no-class-store", false, "disable cross-request class-table sharing (every model build constructs its own tables)")
 		deltaCache   = flag.Int("delta-cache", 0, "retained DP snapshots for incremental re-solve (0 = default 2, negative disables)")
 		deltaThresh  = flag.Float64("delta-threshold", 0, "largest dirty-entries fraction served incrementally (0 = default 0.3, negative disables)")
+		beamWidth    = flag.Int("default-beam-width", 32, "beam frontier width for method=beam requests that leave beam_width unset (0 = unbounded: such requests run the exact DP)")
 		solveTimeout = flag.Duration("solve-timeout", 2*time.Minute, "per-request solve deadline; the solve is aborted mid-DP when it expires (0 = no deadline)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long SIGTERM waits for in-flight requests before force-closing connections (which cancels their solves)")
 		debugAddr    = flag.String("debug-addr", "", "optional localhost listen address serving net/http/pprof (e.g. 127.0.0.1:6060); off when empty")
@@ -556,6 +604,9 @@ func main() {
 	flag.Parse()
 	if *pruneEps < 0 || *pruneEps > maxPruneEpsilon {
 		log.Fatalf("pased: -prune-epsilon %g out of range [0, %g]", *pruneEps, maxPruneEpsilon)
+	}
+	if *beamWidth < 0 || *beamWidth > maxBeamWidth {
+		log.Fatalf("pased: -default-beam-width %d out of range [0, %d]", *beamWidth, maxBeamWidth)
 	}
 
 	if *debugAddr != "" {
@@ -583,6 +634,7 @@ func main() {
 		DisableClassStore:   *noStore,
 		DeltaCacheSize:      *deltaCache,
 		DeltaThreshold:      *deltaThresh,
+		DefaultBeamWidth:    *beamWidth,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,785 @@
+// Anytime beam solving: a bounded-width sibling of the exact dependent-set
+// DP. Where the exact kernel materializes the full K^|D(i)| table per
+// position, the beam keeps at most W surviving (φ, C)-states per table,
+// joined sparsely from the retained states of the child subsets, so table
+// size — and therefore memory and time — is O(W) per position regardless of
+// how entangled the graph is. A greedy guide strategy is force-retained in
+// every table, so every pass yields a valid strategy; the reported cost is
+// the exact cost of that strategy (partial sums along retained paths are
+// never approximated), and a sound optimality gap is derived against an
+// admissible relaxation lower bound. SolveBeam wraps one pass in a
+// progressive-refinement loop that doubles W under the remaining ctx
+// deadline and returns the best strategy found plus its gap when time (or
+// the memory budget) runs out.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"pase/internal/cost"
+	"pase/internal/seq"
+)
+
+// BeamOptions tunes the beam solver. The embedded Options carry the memory
+// budget, worker count and arena exactly as for the exact solver.
+type BeamOptions struct {
+	Options
+	// Width is W, the number of (φ, C)-states retained per DP table. Zero or
+	// negative means unbounded, which IS the exact DP — SolveBeam then
+	// delegates to the exact kernel and the result is byte-identical to
+	// Solve by construction.
+	Width int
+	// GapTarget controls progressive refinement. > 0: keep doubling W until
+	// the tracked gap is at or below the target (or the deadline/budget runs
+	// out). 0: refine until the ctx deadline when one is set, otherwise run
+	// a single pass. < 0: always run a single pass at Width.
+	GapTarget float64
+	// OnPass, when non-nil, observes each completed refinement pass with the
+	// running best cost and gap (monotonically non-increasing in cost).
+	OnPass func(pass, width int, cost, gap float64)
+}
+
+// BeamResult is a beam-solved strategy: the usual Result plus the tracked
+// optimality gap and refinement metadata.
+type BeamResult struct {
+	Result
+	// Gap is the sound relative optimality gap: Cost is the exact cost of
+	// the returned strategy, and Cost/(1+Gap) is an admissible lower bound
+	// on the true optimum, so Cost >= OPT >= Cost/(1+Gap) always holds.
+	Gap float64
+	// Exact reports that the returned strategy is provably optimal: either
+	// Width was unbounded, or a refinement pass completed without ever
+	// truncating a frontier.
+	Exact bool
+	// Width is the beam width of the pass that produced the returned
+	// strategy (0 when unbounded).
+	Width int
+	// Passes is how many refinement passes ran.
+	Passes int
+	// Truncated reports that refinement stopped for a non-deterministic
+	// reason — the ctx deadline or cancellation, or the memory budget on a
+	// later pass — so an identical request with more time could return a
+	// better result. Deterministic stops (exactness, gap target reached,
+	// single-pass mode) leave it false; caches should not retain truncated
+	// results.
+	Truncated bool
+}
+
+// maxBeamGap caps the reported gap so it stays finite (and JSON-encodable)
+// even against a degenerate non-positive lower bound.
+const maxBeamGap = 1e18
+
+// beamPartial is one join-in-progress state: the flat table index over the
+// φ digits assigned so far, the exact accumulated cost, and v's own
+// configuration C. (flat, c) pairs are unique within a frontier.
+type beamPartial struct {
+	flat int64
+	cost float64
+	c    int32
+}
+
+// beamTable is one position's retained frontier, sorted by flat for binary
+// search. costs are freed (arena-returned) after the table's last reader,
+// mirroring the exact solver's cost/choice liveness split; flats and
+// choices stay live for back-substitution.
+type beamTable struct {
+	flats   []int64
+	costs   []float64
+	choices []int32
+}
+
+func (t *beamTable) lookup(flat int64) (int, bool) {
+	j := sort.Search(len(t.flats), func(j int) bool { return t.flats[j] >= flat })
+	if j < len(t.flats) && t.flats[j] == flat {
+		return j, true
+	}
+	return 0, false
+}
+
+// beamGuideIdx builds the greedy guide strategy: nodes in ID order pick the
+// configuration minimizing their own layer cost plus the edges to already
+// assigned neighbours. It is deterministic and always valid; force-retaining
+// its states in every table guarantees each pass extracts SOME strategy no
+// worse than the guide.
+func beamGuideIdx(m *cost.Model) []int {
+	n := m.G.Len()
+	idx := make([]int, n)
+	for v := 0; v < n; v++ {
+		tlv := m.TLRow(v)
+		best := math.Inf(1)
+		bestC := 0
+		for c := 0; c < m.K(v); c++ {
+			s := tlv[c]
+			for _, ie := range m.Incidence(v) {
+				switch {
+				case ie.Self:
+					s += m.EdgeCost(ie.E, c, c)
+				case ie.Other < v:
+					o := idx[ie.Other]
+					if ie.VIsU {
+						s += m.EdgeCost(ie.E, c, o)
+					} else {
+						s += m.EdgeCost(ie.E, o, c)
+					}
+				}
+			}
+			if s < best {
+				best = s
+				bestC = c
+			}
+		}
+		idx[v] = bestC
+	}
+	return idx
+}
+
+// beamLowerBound computes an admissible lower bound on the true optimum as
+// the max of two relaxations: (1) every vertex and every edge at its
+// independent minimum, and (2) each vertex minimizing its layer cost plus
+// half of each incident edge's row minimum (TX(e,cu,cv) >= ½·min over cv +
+// ½·min over cu splits every edge between its endpoints while keeping the
+// per-vertex choice consistent across that vertex's edges).
+func beamLowerBound(m *cost.Model) float64 {
+	n := m.G.Len()
+	lb1 := 0.0
+	for v := 0; v < n; v++ {
+		mn := math.Inf(1)
+		for _, c := range m.TLRow(v) {
+			if c < mn {
+				mn = c
+			}
+		}
+		lb1 += mn
+	}
+	for e := range m.Edges() {
+		vals, _ := m.EdgeTable(e)
+		mn := math.Inf(1)
+		for _, c := range vals {
+			if c < mn {
+				mn = c
+			}
+		}
+		lb1 += mn
+	}
+	lb2 := 0.0
+	for v := 0; v < n; v++ {
+		tlv := m.TLRow(v)
+		kv := m.K(v)
+		best := math.Inf(1)
+		for c := 0; c < kv; c++ {
+			s := tlv[c]
+			for _, ie := range m.Incidence(v) {
+				if ie.Self {
+					s += m.EdgeCost(ie.E, c, c)
+					continue
+				}
+				var row []float64
+				if ie.VIsU {
+					vals, stride := m.EdgeTable(ie.E) // [cu*kv'+cv], row = fixed cu
+					row = vals[c*stride : (c+1)*stride]
+				} else {
+					vals, stride := m.EdgeTableT(ie.E) // [cv*ku+cu], row = fixed cv
+					row = vals[c*stride : (c+1)*stride]
+				}
+				mn := math.Inf(1)
+				for _, x := range row {
+					if x < mn {
+						mn = x
+					}
+				}
+				s += 0.5 * mn
+			}
+			if s < best {
+				best = s
+			}
+		}
+		lb2 += best
+	}
+	return math.Max(lb1, lb2)
+}
+
+// beamGap converts a realized strategy cost and an admissible lower bound
+// into the relative gap, clamped to [0, maxBeamGap].
+func beamGap(costV, lb float64) float64 {
+	if lb > 0 {
+		g := costV/lb - 1
+		if g < 0 {
+			g = 0
+		}
+		if g > maxBeamGap {
+			g = maxBeamGap
+		}
+		return g
+	}
+	if costV <= lb {
+		return 0
+	}
+	return maxBeamGap
+}
+
+// SolveBeam runs the anytime beam DP over the given ordering. With
+// Width <= 0 it delegates to the exact kernel (byte-identical to Solve).
+// Otherwise it runs bounded-width passes, doubling the width while the
+// GapTarget/deadline policy asks for more (see BeamOptions), and returns the
+// best strategy found with its tracked gap. Mid-pass cancellation or an
+// ErrOOM on a refinement pass returns the best-so-far result; an error is
+// returned only when no pass completed at all.
+func SolveBeam(ctx context.Context, m *cost.Model, sq *seq.Sequence, opts BeamOptions) (*BeamResult, error) {
+	if opts.Width <= 0 {
+		res, err := Solve(ctx, m, sq, opts.Options)
+		if err != nil {
+			return nil, err
+		}
+		br := &BeamResult{Result: *res, Gap: 0, Exact: true, Width: 0, Passes: 1}
+		if opts.OnPass != nil {
+			opts.OnPass(1, 0, br.Cost, 0)
+		}
+		return br, nil
+	}
+	if m.G.Len() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	if len(sq.Order) != m.G.Len() {
+		return nil, fmt.Errorf("core: ordering covers %d of %d vertices", len(sq.Order), m.G.Len())
+	}
+	subsets := seq.ConnectedSubsetsAll(m.G, sq)
+	guide := beamGuideIdx(m)
+	lb := beamLowerBound(m)
+
+	var best *BeamResult
+	var totalStates int64
+	w := opts.Width
+	for pass := 1; ; pass++ {
+		t0 := time.Now()
+		res, exact, err := beamPass(ctx, m, sq, subsets, guide, opts.Options, w)
+		if err != nil {
+			// Refinement best-effort: a deadline, cancellation, or budget
+			// blowup on a LATER pass returns the best strategy already
+			// found; only a failing first pass is an error.
+			if best != nil && (errors.Is(err, ErrOOM) || ctx.Err() != nil) {
+				best.Truncated = true
+				break
+			}
+			return nil, err
+		}
+		totalStates += res.Stats.States
+		if best == nil || res.Cost < best.Cost || exact {
+			gap := beamGap(res.Cost, lb)
+			if exact {
+				gap = 0
+			}
+			best = &BeamResult{Result: *res, Gap: gap, Exact: exact, Width: w}
+		}
+		best.Passes = pass
+		best.Stats.States = totalStates
+		if opts.OnPass != nil {
+			opts.OnPass(pass, w, best.Cost, best.Gap)
+		}
+		if best.Exact || best.Gap == 0 {
+			break
+		}
+		if opts.GapTarget < 0 {
+			break // single pass requested
+		}
+		if opts.GapTarget > 0 && best.Gap <= opts.GapTarget {
+			break
+		}
+		deadline, hasDeadline := ctx.Deadline()
+		if opts.GapTarget == 0 && !hasDeadline {
+			break // nothing to refine toward
+		}
+		if ctx.Err() != nil {
+			best.Truncated = true
+			break
+		}
+		// The next pass costs at least as much as this one (W doubles):
+		// don't start it if it cannot finish before the deadline.
+		if hasDeadline && time.Until(deadline) < time.Since(t0) {
+			best.Truncated = true
+			break
+		}
+		// A width beyond the entry budget can only ErrOOM; stop refining.
+		if int64(w) > opts.maxEntries() {
+			break
+		}
+		w *= 2
+	}
+	return best, nil
+}
+
+// beamJoinSub wires one connected subset into a position's sparse join: the
+// child position, where v sits in the child's dependent set (the C slot),
+// and the parent φ digit of every other member.
+type beamJoinSub struct {
+	pos   int
+	vSlot int   // index of v within the child's D(j), or -1
+	slot  []int // parent digit per child D(j) member; -1 at vSlot
+	ck    []int // child radices, child-stride order (first member fastest)
+}
+
+// beamPass runs one bounded-width fill over every position and extracts the
+// best retained strategy. The second return reports exactness: true when no
+// frontier was ever truncated, in which case the sparse join enumerated the
+// full recurrence and the result equals the exact DP's.
+func beamPass(ctx context.Context, m *cost.Model, sq *seq.Sequence, subsets [][][]int, guide []int, opts Options, width int) (*Result, bool, error) {
+	g := m.G
+	n := g.Len()
+	budget := opts.maxEntries()
+	budgetUnits := 3 * budget
+	liveUnits := int64(0)
+	arena := opts.Arena
+	done := ctx.Done()
+	cancelErr := func() error {
+		return fmt.Errorf("core: beam solve cancelled: %w", context.Cause(ctx))
+	}
+
+	var st Stats
+	st.MaxDepSize = sq.MaxDepSize()
+	st.PrunedConfigs = m.PrunedConfigs()
+	st.KEffective = m.MaxKEffective()
+	st.VertexClasses = m.VertexClasses()
+	st.EdgeClasses = m.EdgeClasses()
+	st.TableBytes = m.TableBytes()
+	st.SharedTableBytes = m.SharedTableBytes()
+
+	// Liveness plan: identical to the exact solver. A beam entry is 5
+	// 4-byte units (int64 flat = 2, float64 cost = 2, int32 choice = 1);
+	// costs are freed at the table's last reader, flats+choices stay for
+	// back-substitution.
+	lastReader := make([]int, n)
+	for j := range lastReader {
+		lastReader[j] = -1
+	}
+	for i, subs := range subsets {
+		for _, sub := range subs {
+			if j := sq.Pos[sub[len(sub)-1]]; i > lastReader[j] {
+				lastReader[j] = i
+			}
+		}
+	}
+	freeAt := make([][]int, n)
+	for j, r := range lastReader {
+		if r >= 0 {
+			freeAt[r] = append(freeAt[r], j)
+		}
+	}
+
+	tables := make([]beamTable, n)
+	pruned := false
+	var finalCost float64
+
+	// joinCap bounds the transient frontier between join steps; the final
+	// per-table truncation is to width. 4x slack lets distinct
+	// configurations C survive the intermediate steps even when they will
+	// collapse under the per-flat group-by.
+	joinCap := width * 4
+	if joinCap < 64 {
+		joinCap = 64
+	}
+
+	digitOf := make([]int, n)
+	for j := range digitOf {
+		digitOf[j] = -1
+	}
+
+	var combos int64
+	poll := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+
+	byCostFlatC := func(ps []beamPartial) func(a, b int) bool {
+		return func(a, b int) bool {
+			if ps[a].cost != ps[b].cost {
+				return ps[a].cost < ps[b].cost
+			}
+			if ps[a].flat != ps[b].flat {
+				return ps[a].flat < ps[b].flat
+			}
+			return ps[a].c < ps[b].c
+		}
+	}
+	trim := func(ps []beamPartial, cap int) []beamPartial {
+		if len(ps) <= cap {
+			return ps
+		}
+		pruned = true
+		sort.Slice(ps, byCostFlatC(ps))
+		return ps[:cap]
+	}
+
+	var kd []int
+	var pstride []int64
+	var cdg []int
+
+	for i := 0; i < n; i++ {
+		if done != nil && ctx.Err() != nil {
+			return nil, false, cancelErr()
+		}
+		v := sq.Order[i]
+		dep := sq.Dep[i]
+		kd = kd[:0]
+		pstride = pstride[:0]
+		flatSpace := int64(1)
+		for k, d := range dep {
+			kk := m.K(d)
+			if flatSpace > (math.MaxInt64/4)/int64(kk) {
+				return nil, false, fmt.Errorf("core: beam flat index space at vertex %d exceeds int64 (dependent set too entangled)", v)
+			}
+			kd = append(kd, kk)
+			pstride = append(pstride, flatSpace)
+			digitOf[d] = k
+			flatSpace *= int64(kk)
+		}
+
+		// Subset join wiring: every member of a child's D(j) is v itself or
+		// a φ digit of this position, exactly as in the exact kernel.
+		subs := subsets[i]
+		joins := make([]beamJoinSub, len(subs))
+		for si, sub := range subs {
+			jPos := sq.Pos[sub[len(sub)-1]]
+			dj := sq.Dep[jPos]
+			js := beamJoinSub{pos: jPos, vSlot: -1, slot: make([]int, len(dj)), ck: make([]int, len(dj))}
+			for k, d := range dj {
+				js.ck[k] = m.K(d)
+				if d == v {
+					js.vSlot = k
+					js.slot[k] = -1
+					continue
+				}
+				dg := digitOf[d]
+				if dg < 0 {
+					return nil, false, fmt.Errorf("core: D(%d) member %d not in D(%d) ∪ {v(%d)}: ordering's dependent sets are inconsistent", jPos, d, i, i)
+				}
+				js.slot[k] = dg
+			}
+			joins[si] = js
+		}
+
+		// Incident edges to later vertices, oriented vals[other*kv+c] like
+		// the exact kernel, indexed per φ digit.
+		type edgeRef struct {
+			vals  []float64
+			other int
+		}
+		var erefs []edgeRef
+		edgeDig := make([][]int, len(dep))
+		for _, ie := range m.Incidence(v) {
+			if sq.Pos[ie.Other] <= i {
+				continue
+			}
+			dg := digitOf[ie.Other]
+			if dg < 0 {
+				return nil, false, fmt.Errorf("core: later neighbour %d of %d missing from D(%d)", ie.Other, v, i)
+			}
+			var vals []float64
+			if ie.VIsU {
+				vals, _ = m.EdgeTableT(ie.E)
+			} else {
+				vals, _ = m.EdgeTable(ie.E)
+			}
+			edgeDig[dg] = append(edgeDig[dg], len(erefs))
+			erefs = append(erefs, edgeRef{vals: vals, other: ie.Other})
+		}
+
+		kv := m.K(v)
+		tlv := m.TLRow(v)
+
+		// Seed the frontier with every configuration of v at φ-flat 0.
+		cur := make([]beamPartial, 0, kv)
+		for c := 0; c < kv; c++ {
+			cur = append(cur, beamPartial{flat: 0, cost: tlv[c], c: int32(c)})
+		}
+		cur = trim(cur, joinCap)
+		assigned := make([]bool, len(dep))
+
+		overBudget := func(transient int) bool {
+			return liveUnits+5*int64(transient) > budgetUnits
+		}
+
+		// Join each subset's retained frontier: decode each child entry's
+		// digits once, then extend every compatible partial. Edge costs
+		// attach when their φ digit is first assigned.
+		for _, js := range joins {
+			child := &tables[js.pos]
+			next := make([]beamPartial, 0, len(cur))
+			cdg = grown(cdg, len(js.ck))
+			for ei := range child.flats {
+				rem := child.flats[ei]
+				for k := range js.ck {
+					cdg[k] = int(rem % int64(js.ck[k]))
+					rem /= int64(js.ck[k])
+				}
+				ccost := child.costs[ei]
+				for pi := range cur {
+					combos++
+					if combos&cancelCheckMask == 0 {
+						if poll() {
+							return nil, false, cancelErr()
+						}
+						if overBudget(len(next)) {
+							return nil, false, fmt.Errorf("%w: beam frontier at vertex %d exceeds %d entries", ErrOOM, v, budget)
+						}
+						// Keep the transient frontier bounded: compacting
+						// mid-join is still deterministic (generation order
+						// is fixed) and just counts as pruning.
+						if len(next) > joinCap*4 {
+							next = trim(next, joinCap)
+						}
+					}
+					p := &cur[pi]
+					if js.vSlot >= 0 && cdg[js.vSlot] != int(p.c) {
+						continue
+					}
+					ok := true
+					flatAdd := int64(0)
+					add := ccost
+					for k, dg := range js.slot {
+						if dg < 0 {
+							continue
+						}
+						d := cdg[k]
+						if assigned[dg] {
+							if int((p.flat/pstride[dg])%int64(kd[dg])) != d {
+								ok = false
+								break
+							}
+							continue
+						}
+						flatAdd += int64(d) * pstride[dg]
+						for _, li := range edgeDig[dg] {
+							add += erefs[li].vals[d*kv+int(p.c)]
+						}
+					}
+					if !ok {
+						continue
+					}
+					next = append(next, beamPartial{flat: p.flat + flatAdd, cost: p.cost + add, c: p.c})
+				}
+			}
+			for _, dg := range js.slot {
+				if dg >= 0 {
+					assigned[dg] = true
+				}
+			}
+			cur = trim(next, joinCap)
+		}
+
+		// Digits no subset covered (edge-only or value-independent
+		// attachments): enumerate their values so later parents can match
+		// any combination, attaching edge costs where present.
+		for k := range dep {
+			if assigned[k] {
+				continue
+			}
+			next := make([]beamPartial, 0, len(cur)*kd[k])
+			for d := 0; d < kd[k]; d++ {
+				for pi := range cur {
+					combos++
+					if combos&cancelCheckMask == 0 {
+						if poll() {
+							return nil, false, cancelErr()
+						}
+						if overBudget(len(next)) {
+							return nil, false, fmt.Errorf("%w: beam frontier at vertex %d exceeds %d entries", ErrOOM, v, budget)
+						}
+						if len(next) > joinCap*4 {
+							next = trim(next, joinCap)
+						}
+					}
+					p := &cur[pi]
+					add := 0.0
+					for _, li := range edgeDig[k] {
+						add += erefs[li].vals[d*kv+int(p.c)]
+					}
+					next = append(next, beamPartial{flat: p.flat + int64(d)*pstride[k], cost: p.cost + add, c: p.c})
+				}
+			}
+			assigned[k] = true
+			cur = trim(next, joinCap)
+		}
+		st.States += combos
+		combos = 0
+
+		// Finalize: group by flat keeping the min cost (smallest C on ties,
+		// matching the exact kernel's strict-< argmin), then keep the top-W
+		// flats by cost.
+		sort.Slice(cur, func(a, b int) bool {
+			if cur[a].flat != cur[b].flat {
+				return cur[a].flat < cur[b].flat
+			}
+			if cur[a].cost != cur[b].cost {
+				return cur[a].cost < cur[b].cost
+			}
+			return cur[a].c < cur[b].c
+		})
+		out := cur[:0]
+		for _, p := range cur {
+			if len(out) == 0 || out[len(out)-1].flat != p.flat {
+				out = append(out, p)
+			}
+		}
+		if len(out) > width {
+			pruned = true
+			sort.Slice(out, func(a, b int) bool {
+				if out[a].cost != out[b].cost {
+					return out[a].cost < out[b].cost
+				}
+				return out[a].flat < out[b].flat
+			})
+			out = out[:width]
+			sort.Slice(out, func(a, b int) bool { return out[a].flat < out[b].flat })
+		}
+
+		// Force-retain the guide state so every table — and therefore every
+		// pass — contains at least one entry on a known-valid strategy. Its
+		// value folds the CHILD's stored values at the child guide flats
+		// (which this same rule guarantees exist), so the stored cost is
+		// exactly realizable by back-substitution.
+		gC := guide[v]
+		gFlat := int64(0)
+		for k, d := range dep {
+			gFlat += int64(guide[d]) * pstride[k]
+		}
+		gVal := tlv[gC]
+		for li := range erefs {
+			gVal += erefs[li].vals[guide[erefs[li].other]*kv+gC]
+		}
+		for _, js := range joins {
+			cf := int64(0)
+			cs := int64(1)
+			for _, d := range sq.Dep[js.pos] {
+				cf += int64(guide[d]) * cs
+				cs *= int64(m.K(d))
+			}
+			j, okL := tables[js.pos].lookup(cf)
+			if !okL {
+				return nil, false, fmt.Errorf("core: beam guide state missing from table %d", js.pos)
+			}
+			gVal += tables[js.pos].costs[j]
+		}
+		if j := sort.Search(len(out), func(j int) bool { return out[j].flat >= gFlat }); j < len(out) && out[j].flat == gFlat {
+			if gVal < out[j].cost {
+				out[j].cost = gVal
+				out[j].c = int32(gC)
+			}
+		} else {
+			out = append(out, beamPartial{})
+			copy(out[j+1:], out[j:])
+			out[j] = beamPartial{flat: gFlat, cost: gVal, c: int32(gC)}
+		}
+
+		// Charge the retained table against the budget and publish it.
+		sz := int64(len(out))
+		st.TotalEntries += sz
+		if sz > st.MaxTable {
+			st.MaxTable = sz
+		}
+		liveUnits += 5 * sz
+		if liveUnits > budgetUnits {
+			return nil, false, fmt.Errorf("%w: live beam tables at vertex %d exceed %d entries", ErrOOM, v, budget)
+		}
+		if live := (liveUnits + 2) / 3; live > st.PeakLiveEntries {
+			st.PeakLiveEntries = live
+		}
+		t := beamTable{
+			flats:   make([]int64, len(out)),
+			costs:   arena.GetF64(sz),
+			choices: arena.GetI32(sz),
+		}
+		for j, p := range out {
+			t.flats[j] = p.flat
+			t.costs[j] = p.cost
+			t.choices[j] = p.c
+		}
+		tables[i] = t
+		if i == n-1 {
+			finalCost = t.costs[0]
+		}
+
+		for _, j := range freeAt[i] {
+			liveUnits -= 2 * int64(len(tables[j].flats))
+			arena.PutF64(tables[j].costs)
+			tables[j].costs = nil
+		}
+		for _, d := range dep {
+			digitOf[d] = -1
+		}
+	}
+
+	// Back-substitution over the sparse tables: the flat is computed from
+	// the already-assigned dependents exactly as in the exact kernel, then
+	// resolved by binary search. Every entry's children exist by
+	// construction (joins only extend retained child states; guide states
+	// are force-retained), so the walk cannot dead-end.
+	idx := make([]int, n)
+	assignedV := make([]bool, n)
+	var walk func(pos int) error
+	walk = func(pos int) error {
+		v := sq.Order[pos]
+		dj := sq.Dep[pos]
+		flat := int64(0)
+		stride := int64(1)
+		for _, d := range dj {
+			if !assignedV[d] {
+				return fmt.Errorf("core: beam back-substitution reached %d before its dependent %d", v, d)
+			}
+			flat += int64(idx[d]) * stride
+			stride *= int64(m.K(d))
+		}
+		j, okL := tables[pos].lookup(flat)
+		if !okL {
+			return fmt.Errorf("core: beam back-substitution: no retained state at position %d flat %d", pos, flat)
+		}
+		idx[v] = int(tables[pos].choices[j])
+		assignedV[v] = true
+		for _, sub := range subsets[pos] {
+			if err := walk(sq.Pos[sub[len(sub)-1]]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(n - 1); err != nil {
+		return nil, false, err
+	}
+	for v := 0; v < n; v++ {
+		if !assignedV[v] {
+			return nil, false, fmt.Errorf("core: beam back-substitution left node %d unassigned (graph not weakly connected?)", v)
+		}
+	}
+
+	res := &Result{
+		Cost:     finalCost,
+		Idx:      idx,
+		Strategy: m.StrategyFromIdx(idx),
+		Seq:      sq,
+		Stats:    st,
+	}
+	// The beam's root value is the exact cost of the extracted strategy
+	// (child values fold exactly, never estimates) — guard the wiring.
+	if ev := m.EvalIdx(idx); math.Abs(ev-res.Cost) > 1e-6*math.Max(1, math.Abs(ev)) {
+		return nil, false, fmt.Errorf("core: beam extracted strategy costs %v but retained root value is %v", ev, res.Cost)
+	}
+	for i := 0; i < n; i++ {
+		if tables[i].costs != nil {
+			arena.PutF64(tables[i].costs)
+			tables[i].costs = nil
+		}
+		arena.PutI32(tables[i].choices)
+		tables[i].choices = nil
+	}
+	return res, !pruned, nil
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"pase/internal/cost"
+	"pase/internal/itspace"
+	"pase/internal/machine"
+	"pase/internal/models"
+	"pase/internal/seq"
+)
+
+// beamFind runs SolveBeam with the default GENERATESEQ ordering.
+func beamFind(m *cost.Model, opts BeamOptions) (*BeamResult, error) {
+	return SolveBeam(context.Background(), m, seq.Generate(m.G), opts)
+}
+
+// With Width <= 0 the beam is unbounded — by definition the exact DP — so it
+// must be byte-identical (cost AND per-node configuration choices) to Solve
+// on all four paper benchmarks, at every worker count. This is what lets the
+// planner route unbounded beam requests onto the exact solve's cache
+// identity.
+func TestBeamUnboundedByteIdenticalOnPaperBenchmarks(t *testing.T) {
+	const p = 8
+	for _, bm := range models.Benchmarks() {
+		t.Run(bm.Name, func(t *testing.T) {
+			g := bm.Build(bm.Batch)
+			m, err := cost.NewModel(g, machine.GTX1080Ti(p), bm.Policy(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := FindBestStrategy(m, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+				br, err := beamFind(m, BeamOptions{Options: Options{Workers: workers}, Width: 0})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !br.Exact || br.Gap != 0 || br.Width != 0 {
+					t.Fatalf("workers=%d: unbounded beam not flagged exact: exact=%v gap=%v width=%d",
+						workers, br.Exact, br.Gap, br.Width)
+				}
+				if br.Cost != exact.Cost {
+					t.Fatalf("workers=%d: cost %v != exact %v", workers, br.Cost, exact.Cost)
+				}
+				for v := range exact.Idx {
+					if br.Idx[v] != exact.Idx[v] {
+						t.Fatalf("workers=%d node %d: config %d != exact %d",
+							workers, v, br.Idx[v], exact.Idx[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// Gap soundness on random layer graphs: for any width, the reported beam
+// cost must be realizable (>= the exact optimum) and the gap must bracket
+// the optimum from below — beamCost >= OPT >= beamCost/(1+gap). When the
+// pass reports Exact the costs must agree outright.
+func TestBeamGapSoundnessOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const p = 8
+	const relTol = 1e-9
+	for trial := 0; trial < 8; trial++ {
+		g := randomDNNGraph(rng, 5+rng.Intn(7))
+		m := newModel(t, g, p)
+		exact, err := FindBestStrategy(m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, width := range []int{1, 2, 8, 64} {
+			br, err := beamFind(m, BeamOptions{Width: width, GapTarget: -1})
+			if err != nil {
+				t.Fatalf("trial %d width %d: %v", trial, width, err)
+			}
+			if br.Cost < exact.Cost*(1-relTol) {
+				t.Fatalf("trial %d width %d: beam cost %v below exact optimum %v",
+					trial, width, br.Cost, exact.Cost)
+			}
+			lower := br.Cost / (1 + br.Gap)
+			if lower > exact.Cost*(1+relTol) {
+				t.Fatalf("trial %d width %d: gap %v claims optimum >= %v, but exact is %v",
+					trial, width, br.Gap, lower, exact.Cost)
+			}
+			if br.Exact && math.Abs(br.Cost-exact.Cost) > relTol*exact.Cost {
+				t.Fatalf("trial %d width %d: flagged exact but cost %v != %v",
+					trial, width, br.Cost, exact.Cost)
+			}
+			if err := br.Strategy.Validate(m.G, p); err != nil {
+				t.Fatalf("trial %d width %d: invalid strategy: %v", trial, width, err)
+			}
+		}
+	}
+}
+
+// The anytime loop must refine monotonically: each OnPass reports the
+// running best, so the reported costs never increase, and on a graph small
+// enough to stop truncating the loop must terminate exact at the optimum.
+func TestBeamAnytimeRefinementMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomDNNGraph(rng, 10)
+	m := newModel(t, g, 8)
+	exact, err := FindBestStrategy(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var costs []float64
+	br, err := beamFind(m, BeamOptions{
+		Width:     1,
+		GapTarget: 1e-12, // unreachably tight: refine until the pass is exact
+		OnPass:    func(_, _ int, cost, _ float64) { costs = append(costs, cost) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) < 2 {
+		t.Fatalf("expected several refinement passes from width 1, got %d", len(costs))
+	}
+	for i := 1; i < len(costs); i++ {
+		if costs[i] > costs[i-1] {
+			t.Fatalf("pass %d regressed: %v -> %v (all: %v)", i+1, costs[i-1], costs[i], costs)
+		}
+	}
+	if !br.Exact {
+		t.Fatalf("refinement on a small graph should reach exactness, gap=%v after %d passes", br.Gap, br.Passes)
+	}
+	if br.Cost != exact.Cost {
+		t.Fatalf("refined-to-exact cost %v != exact %v", br.Cost, exact.Cost)
+	}
+}
+
+// gptDeepModel builds (once) the GPT-scale decoder model whose exact DP
+// tables exceed DefaultMaxTableEntries: 3 layers of shared-memory decoder at
+// p=64 under the unrestricted policy.
+var gptDeepModel = sync.OnceValues(func() (*cost.Model, error) {
+	bm, err := models.ByName("gptdeep:3")
+	if err != nil {
+		return nil, err
+	}
+	g := bm.Build(bm.Batch)
+	return cost.NewModel(g, machine.GTX1080Ti(64), itspace.EnumPolicy{})
+})
+
+// The acceptance bar of the beam solver: a graph the exact DP cannot finish
+// under the default table budget gets a valid strategy with a sound,
+// reported gap from a single bounded-width pass, in seconds.
+func TestBeamSolvesWhereExactDPOOMs(t *testing.T) {
+	m, err := gptDeepModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindBestStrategy(m, Options{}); !errors.Is(err, ErrOOM) {
+		t.Fatalf("exact DP on gptdeep:3 should exhaust DefaultMaxTableEntries, got err=%v", err)
+	}
+	start := time.Now()
+	br, err := beamFind(m, BeamOptions{Width: 32, GapTarget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("beam W=32 took %v, want < 5s", elapsed)
+	}
+	if br.Exact {
+		t.Fatal("bounded beam on gptdeep:3 cannot prove exactness (the exact DP OOMs)")
+	}
+	if !(br.Gap > 0) || math.IsInf(br.Gap, 0) || math.IsNaN(br.Gap) {
+		t.Fatalf("want a finite positive gap, got %v", br.Gap)
+	}
+	if err := br.Strategy.Validate(m.G, 64); err != nil {
+		t.Fatalf("invalid strategy: %v", err)
+	}
+	// The stored cost must be realizable by the returned strategy.
+	got, err := m.Eval(br.Strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-br.Cost) > 1e-6*math.Abs(br.Cost) {
+		t.Fatalf("reported cost %v not realized by strategy (eval %v)", br.Cost, got)
+	}
+}
+
+// Cancelling mid-refinement must return the best-so-far strategy promptly:
+// the first pass's result comes back, not a cancellation error, and the
+// return happens within the fill loop's polling latency of the cancel.
+func TestBeamCancellationReturnsBestSoFar(t *testing.T) {
+	m, err := gptDeepModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var cancelled time.Time
+	var once sync.Once
+	br, err := SolveBeam(ctx, m, seq.Generate(m.G), BeamOptions{
+		Width:     8,
+		GapTarget: 1e-12, // keep refining so the cancel lands mid-pass
+		OnPass: func(pass, _ int, _, _ float64) {
+			if pass == 1 {
+				// Cancel shortly after pass 2 starts filling.
+				go func() {
+					time.Sleep(50 * time.Millisecond)
+					once.Do(func() { cancelled = time.Now() })
+					cancel()
+				}()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("cancellation mid-refinement must return the best-so-far result, got %v", err)
+	}
+	if !cancelled.IsZero() {
+		if lag := time.Since(cancelled); lag > 100*time.Millisecond {
+			t.Fatalf("best-so-far returned %v after cancel, want < 100ms", lag)
+		}
+	}
+	if br == nil || br.Passes < 1 {
+		t.Fatalf("want at least the first pass's result, got %+v", br)
+	}
+	if !br.Truncated {
+		t.Fatal("a cancelled refinement must be flagged Truncated")
+	}
+	if err := br.Strategy.Validate(m.G, 64); err != nil {
+		t.Fatalf("invalid strategy: %v", err)
+	}
+}
+
+// The beam must respect the table budget like the exact solver: an
+// impossible budget yields ErrOOM on the first pass (no best-so-far to fall
+// back to).
+func TestBeamRespectsMemoryBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomDNNGraph(rng, 10)
+	m := newModel(t, g, 8)
+	_, err := beamFind(m, BeamOptions{Options: Options{MaxTableEntries: 4}, Width: 16})
+	if !errors.Is(err, ErrOOM) {
+		t.Fatalf("want ErrOOM under a 4-entry budget, got %v", err)
+	}
+}

@@ -39,9 +39,17 @@ type Document struct {
 	// consumers can correlate exported documents with served requests.
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// Method, when set, names the solve method that produced this strategy:
-	// "dp" (the paper's dynamic program), "mcmc", "dataparallel", or
-	// "expert:<family>".
+	// "dp" (the paper's dynamic program), "beam" (the anytime bounded-width
+	// DP), "mcmc", "dataparallel", or "expert:<family>".
 	Method string `json:"method,omitempty"`
+	// Gap / Exact / BeamWidth, when set, record the anytime-beam provenance
+	// of this strategy: the true optimum is in [CostSeconds/(1+Gap),
+	// CostSeconds]; Exact marks proven optimality (always for "dp", for
+	// "beam" when no frontier truncation occurred); BeamWidth is the
+	// frontier width a beam solve ran at.
+	Gap       float64 `json:"gap,omitempty"`
+	Exact     bool    `json:"exact,omitempty"`
+	BeamWidth int     `json:"beam_width,omitempty"`
 	// PrunedConfigs / KEffective, when set, record the config-space
 	// reduction of the solve that produced this strategy: how many candidate
 	// configurations dominance pruning removed, and the largest per-vertex

@@ -68,12 +68,17 @@ func Benchmarks() []Benchmark {
 }
 
 // ByName returns the named benchmark ("alexnet", "inceptionv3", "rnnlm",
-// "transformer", case-insensitive prefix also accepted).
+// "transformer", case-insensitive). Parameterized models are parsed from the
+// name: "gptdeep" or "gptdeep:<layers>" builds the GPT-scale decoder stack
+// at the given depth (see GPTDeep).
 func ByName(name string) (Benchmark, error) {
 	for _, bm := range Benchmarks() {
 		if equalFold(bm.Name, name) {
 			return bm, nil
 		}
+	}
+	if bm, ok, err := parseGPTDeep(name); ok {
+		return bm, err
 	}
 	return Benchmark{}, fmt.Errorf("models: unknown benchmark %q", name)
 }

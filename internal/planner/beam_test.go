@@ -1,0 +1,169 @@
+package planner
+
+import (
+	"context"
+	"testing"
+)
+
+// Beam identity rules: the effective width and gap target are part of the
+// solve fingerprint (distinct knobs must not collide in the result cache)
+// but never the model fingerprint (the model is method-independent).
+func TestBeamFingerprint(t *testing.T) {
+	base := alexReq(8)
+	beam := base
+	beam.Opts.Method = "beam"
+	beam.Opts.BeamWidth = 16
+
+	mA, sA := Fingerprints(base)
+	mB, sB := Fingerprints(beam)
+	if mA != mB {
+		t.Error("beam method changed the model fingerprint")
+	}
+	if sA == sB {
+		t.Error("beam method did not change the solve fingerprint")
+	}
+
+	wider := beam
+	wider.Opts.BeamWidth = 32
+	if _, s := Fingerprints(wider); s == sB {
+		t.Error("distinct beam widths collided")
+	}
+	targeted := beam
+	targeted.Opts.GapTarget = 0.1
+	if _, s := Fingerprints(targeted); s == sB {
+		t.Error("distinct gap targets collided")
+	}
+
+	// The beam knobs are ignored — and must not perturb identity — for
+	// every other method. (Solve clears them before fingerprinting; the
+	// fingerprint itself only reads them under method "beam".)
+	dpWithWidth := base
+	dpWithWidth.Opts.BeamWidth = 16
+	if _, s := Fingerprints(dpWithWidth); s != sA {
+		t.Error("BeamWidth leaked into a dp fingerprint")
+	}
+}
+
+// A beam request with no width (and no planner default) is unbounded —
+// exactly the exact DP — so the planner must route it onto the "dp"
+// identity: same fingerprint, same cache entries, fallback counted.
+func TestBeamUnboundedRoutesToExactDP(t *testing.T) {
+	p := New(Config{})
+	req := alexReq(8)
+
+	dpRes, err := p.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dpRes.Exact {
+		t.Error("dp result not flagged Exact")
+	}
+
+	beamReq := alexReq(8)
+	beamReq.Opts.Method = "beam"
+	res, err := p.Solve(context.Background(), beamReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "dp" {
+		t.Fatalf("unbounded beam should resolve to method dp, got %q", res.Method)
+	}
+	if !res.Cached {
+		t.Error("unbounded beam request missed the dp result cache")
+	}
+	if res.Fingerprint != dpRes.Fingerprint {
+		t.Errorf("unbounded beam fingerprint %s != dp %s", res.Fingerprint, dpRes.Fingerprint)
+	}
+	if res.Cost != dpRes.Cost {
+		t.Errorf("unbounded beam cost %v != dp %v", res.Cost, dpRes.Cost)
+	}
+	st := p.Stats()
+	if st.BeamFallbacks != 1 {
+		t.Errorf("BeamFallbacks = %d, want 1", st.BeamFallbacks)
+	}
+	if st.BeamSolves != 0 {
+		t.Errorf("BeamSolves = %d, want 0 (no bounded pass ran)", st.BeamSolves)
+	}
+}
+
+// A bounded beam solve through the planner: the configured default width
+// resolves, the gap contract holds against the exact dp optimum, the stats
+// counters thread through, and the identical repeat is a cache hit.
+func TestBeamSolveThroughPlanner(t *testing.T) {
+	p := New(Config{DefaultBeamWidth: 8})
+	req := alexReq(8)
+
+	dpRes, err := p.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	beamReq := alexReq(8)
+	beamReq.Opts.Method = "beam"
+	res, err := p.Solve(context.Background(), beamReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "beam" || res.BeamWidth != 8 {
+		t.Fatalf("method %q width %d, want beam at the default width 8", res.Method, res.BeamWidth)
+	}
+	if res.Cost < dpRes.Cost {
+		t.Errorf("beam cost %v below the exact optimum %v", res.Cost, dpRes.Cost)
+	}
+	if lower := res.Cost / (1 + res.Gap); lower > dpRes.Cost*(1+1e-9) {
+		t.Errorf("gap %v claims optimum >= %v, but exact is %v", res.Gap, lower, dpRes.Cost)
+	}
+	st := p.Stats()
+	if st.BeamSolves != 1 {
+		t.Errorf("BeamSolves = %d, want 1", st.BeamSolves)
+	}
+	if st.BeamFallbacks != 0 {
+		t.Errorf("BeamFallbacks = %d, want 0", st.BeamFallbacks)
+	}
+	if st.LastGap != res.Gap {
+		t.Errorf("LastGap = %v, want the solve's gap %v", st.LastGap, res.Gap)
+	}
+
+	again, err := p.Solve(context.Background(), beamReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("identical beam request was not a cache hit")
+	}
+	if again.Cost != res.Cost || again.Gap != res.Gap || again.BeamWidth != res.BeamWidth {
+		t.Error("cached beam result lost its gap/width metadata")
+	}
+}
+
+// Compare grows the beam column exactly when a width resolves.
+func TestCompareIncludesBeamColumn(t *testing.T) {
+	hasBeam := func(c *Comparison) bool {
+		for _, e := range c.Entries {
+			if e.Method == "beam" {
+				return e.Err == nil && e.Result != nil && e.Result.BeamWidth > 0
+			}
+		}
+		return false
+	}
+
+	p := New(Config{})
+	req := alexReq(8)
+	cmp, err := p.Compare(context.Background(), CompareRequest{G: req.G, Spec: req.Spec, Family: "cnn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasBeam(cmp) {
+		t.Error("beam entry present with no width configured")
+	}
+
+	cmp, err = p.Compare(context.Background(), CompareRequest{
+		G: req.G, Spec: req.Spec, Family: "cnn", Opts: Options{BeamWidth: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasBeam(cmp) {
+		t.Error("beam entry missing despite Opts.BeamWidth")
+	}
+}

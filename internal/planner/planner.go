@@ -50,8 +50,9 @@ import (
 // Options tunes a solve request. It is re-exported as pase.Options.
 type Options struct {
 	// Method selects the strategy-search method: "dp" (default — the paper's
-	// dependent-set dynamic program), "mcmc" (the FlexFlow-substitute
-	// Metropolis search), "dataparallel" (the standard-practice baseline), or
+	// dependent-set dynamic program), "beam" (the anytime bounded-width DP;
+	// see BeamWidth/GapTarget), "mcmc" (the FlexFlow-substitute Metropolis
+	// search), "dataparallel" (the standard-practice baseline), or
 	// "expert:<family>" with family "cnn", "rnn", or "transformer" (the
 	// paper's expert baselines). All methods run through the same planner
 	// request path — fingerprinted (the method is part of the solve
@@ -92,6 +93,24 @@ type Options struct {
 	// negative value forces the exact solve even on a planner whose
 	// default is aggressive.
 	PruneEpsilon float64
+	// BeamWidth bounds the "beam" method's frontier: each DP table keeps the
+	// top-W dependent-set configurations by cost (plus a greedy guide state,
+	// so a valid strategy always survives). Zero falls back to the planner's
+	// Config.DefaultBeamWidth; if no width resolves (or the value is
+	// negative) the beam is unbounded, which is by construction the exact
+	// DP — the planner routes the request to "dp" so it shares the exact
+	// solve's fingerprint, caches, and byte-identical results. A positive
+	// width is part of the request's cache identity. Ignored by every method
+	// but "beam".
+	BeamWidth int
+	// GapTarget steers the "beam" method's anytime refinement loop (see
+	// core.BeamOptions.GapTarget): > 0 doubles the width until the tracked
+	// optimality gap falls to the target (or the ctx deadline arrives); 0
+	// refines under the ctx deadline when one is set, otherwise runs a
+	// single pass; negative forces a single pass at BeamWidth. A non-zero
+	// target is part of the request's cache identity (negatives normalize to
+	// -1). Ignored by every method but "beam".
+	GapTarget float64
 }
 
 // method returns the normalized method name ("" means "dp").
@@ -111,12 +130,13 @@ func (o Options) mcmcInit() string {
 }
 
 // ValidateMethod reports whether method names a known solve method: "",
-// "dp", "mcmc", "dataparallel", or "expert:<family>" with a family from
-// strategies.Families. It is the wire-level validation hook for daemons, so
-// malformed methods are rejected before they are fingerprinted or solved.
+// "dp", "beam", "mcmc", "dataparallel", or "expert:<family>" with a family
+// from strategies.Families. It is the wire-level validation hook for
+// daemons, so malformed methods are rejected before they are fingerprinted
+// or solved.
 func ValidateMethod(method string) error {
 	switch method {
-	case "", "dp", "mcmc", "dataparallel":
+	case "", "dp", "beam", "mcmc", "dataparallel":
 		return nil
 	}
 	if fam, ok := strings.CutPrefix(method, "expert:"); ok {
@@ -127,7 +147,7 @@ func ValidateMethod(method string) error {
 		}
 		return fmt.Errorf("planner: unknown expert family %q (want one of %v)", fam, strategies.Families())
 	}
-	return fmt.Errorf("planner: unknown method %q (want dp, mcmc, dataparallel, or expert:<family>)", method)
+	return fmt.Errorf("planner: unknown method %q (want dp, beam, mcmc, dataparallel, or expert:<family>)", method)
 }
 
 // Result is a found strategy with its cost and search statistics. It is
@@ -188,6 +208,23 @@ type Result struct {
 	// topology and solve shape, and re-filled only the tables the request's
 	// delta dirtied.
 	DeltaResolve bool
+	// Gap is the tracked optimality gap of a "beam" result: the true
+	// optimum is guaranteed to lie in [Cost/(1+Gap), Cost]. Zero for exact
+	// methods ("dp", and "beam" when the solve proved exactness) and for
+	// heuristics that track no bound (mcmc, baselines — see Exact).
+	Gap float64
+	// Exact reports that Cost is provably the model's optimum: always true
+	// for "dp", true for "beam" when no frontier truncation occurred (or the
+	// gap closed to zero), false for mcmc and the baselines.
+	Exact bool
+	// BeamWidth is the frontier width a "beam" request resolved to (after
+	// Config.DefaultBeamWidth); zero for every other method.
+	BeamWidth int
+	// deadlineTruncated marks an anytime result whose refinement was cut
+	// short by the caller's deadline (or a late-pass budget hit): an
+	// identical request with more time could do better, so the planner
+	// serves it to the current waiters but keeps it out of the result cache.
+	deadlineTruncated bool
 }
 
 // clone returns an independent copy whose strategy the caller may mutate.
@@ -272,6 +309,12 @@ type Config struct {
 	// above it the planner falls back to a full solve. Negative disables
 	// delta admission while still retaining snapshots.
 	DeltaThreshold float64
+	// DefaultBeamWidth is applied to "beam" requests whose Options leave
+	// BeamWidth unset (zero). Like DefaultPruneEpsilon, the effective width
+	// — not the request's literal field — enters the fingerprint. Zero means
+	// no default: a "beam" request without a width is unbounded and routes
+	// to the exact "dp" path (counted in Stats.BeamFallbacks).
+	DefaultBeamWidth int
 }
 
 func (c Config) modelCacheSize() int {
@@ -369,6 +412,14 @@ type Stats struct {
 	// comparable).
 	DeltaResolves  int64 `json:"delta_resolves"`
 	DeltaFallbacks int64 `json:"delta_fallbacks"`
+	// BeamSolves counts underlying "beam" method runs actually performed;
+	// BeamFallbacks counts requests that asked for "beam" but resolved an
+	// unbounded width and were routed to the exact "dp" path instead.
+	// LastGap is the optimality gap of the most recent completed beam solve
+	// (zero when it proved exactness).
+	BeamSolves    int64   `json:"beam_solves"`
+	BeamFallbacks int64   `json:"beam_fallbacks"`
+	LastGap       float64 `json:"last_gap"`
 }
 
 // solveFlight is one in-flight underlying solve. waiters counts the callers
@@ -451,7 +502,8 @@ func New(cfg Config) *Planner {
 // config space); the solve fingerprint extends it with the result-relevant
 // solver options: ordering choice, the effective memory budget, and — only
 // when not the default "dp" — the method with its method-specific knobs
-// (normalized mcmc.Options and the MCMC seed strategy). Workers is excluded
+// (normalized mcmc.Options and the MCMC seed strategy; the effective beam
+// width and normalized gap target). Workers is excluded
 // because results are byte-identical at any worker count; zero PruneEpsilon
 // and method "dp" are excluded because they reproduce pre-field results
 // byte for byte, keeping pre-existing fingerprints stable.
@@ -480,6 +532,15 @@ func Fingerprints(req Request) (modelFP, solveFP canon.Fingerprint) {
 			req.Opts.MCMC.CanonicalEncode(w)
 			w.Label("mcmc-init")
 			w.Str(req.Opts.mcmcInit())
+		}
+		if method == "beam" {
+			// Solve normalizes the beam fields before fingerprinting: width
+			// is the effective (post-DefaultBeamWidth) positive value —
+			// unbounded requests were rewritten to "dp" and never reach this
+			// branch — and negative gap targets collapse to -1.
+			w.Label("beam")
+			w.Int(req.Opts.BeamWidth)
+			w.F64(req.Opts.GapTarget)
 		}
 	}
 	solveFP = w.Sum()
@@ -541,6 +602,30 @@ func (p *Planner) Solve(ctx context.Context, req Request) (*Result, error) {
 	case req.Opts.PruneEpsilon == 0 && p.cfg.DefaultPruneEpsilon > 0:
 		req.Opts.PruneEpsilon = p.cfg.DefaultPruneEpsilon
 	}
+	// Resolve the effective beam width the same way: zero inherits the
+	// planner default, and an unbounded width means the beam IS the exact
+	// DP, so the request is rewritten to "dp" — it shares the exact solve's
+	// fingerprint, caches, and flights, and default identities stay stable.
+	if req.Opts.method() == "beam" {
+		if req.Opts.BeamWidth == 0 {
+			req.Opts.BeamWidth = p.cfg.DefaultBeamWidth
+		}
+		if req.Opts.BeamWidth <= 0 {
+			req.Opts.Method = "dp"
+			req.Opts.BeamWidth = 0
+			req.Opts.GapTarget = 0
+			p.mu.Lock()
+			p.stats.BeamFallbacks++
+			p.mu.Unlock()
+		} else if req.Opts.GapTarget < 0 {
+			req.Opts.GapTarget = -1
+		}
+	} else {
+		// The beam knobs are ignored by every other method; clear them so
+		// they cannot perturb behavior (they are not fingerprinted anyway).
+		req.Opts.BeamWidth = 0
+		req.Opts.GapTarget = 0
+	}
 	modelFP, solveFP := Fingerprints(req)
 
 	p.mu.Lock()
@@ -568,13 +653,30 @@ func (p *Planner) Solve(ctx context.Context, req Request) (*Result, error) {
 	// The solve runs on its own flight context so the leader can detach like
 	// any other waiter while the flight finishes for the rest; the flight
 	// context is cancelled only when the last waiter detaches (waitSolve).
+	//
+	// Anytime beam requests additionally inherit the caller's deadline,
+	// shrunk by a small margin: the refinement loop must stop and hand its
+	// best-so-far result to the flight *before* the caller's own deadline
+	// fires and detaches it, or the anytime contract degenerates to a
+	// DeadlineExceeded error.
+	solveCtx := flightCtx
+	stopTimer := func() {}
+	if req.Opts.method() == "beam" {
+		if dl, ok := ctx.Deadline(); ok {
+			solveCtx, stopTimer = context.WithDeadline(flightCtx, dl.Add(-beamDeadlineMargin(time.Until(dl))))
+		}
+	}
 	go func() {
-		res, err := p.doSolve(flightCtx, req, modelFP, solveFP, start)
+		defer stopTimer()
+		res, err := p.doSolve(solveCtx, req, modelFP, solveFP, start)
 		p.mu.Lock()
 		if p.solveFlights[solveFP] == fl {
 			delete(p.solveFlights, solveFP)
 		}
-		if err == nil {
+		// Deadline-truncated anytime results are served to the flight's
+		// waiters but not cached: the same request with more time could
+		// refine further, and a cache would freeze the early answer.
+		if err == nil && !res.deadlineTruncated {
 			p.results.Put(solveFP, res)
 		}
 		fl.res, fl.err = res, err
@@ -639,9 +741,12 @@ func (p *Planner) doSolve(ctx context.Context, req Request, modelFP, solveFP can
 		if err != nil {
 			return nil, err
 		}
-		if method == "mcmc" {
+		switch method {
+		case "mcmc":
 			res, err = runMCMC(ctx, m, req.Opts, start)
-		} else {
+		case "beam":
+			res, err = p.runBeam(ctx, m, req.Opts, start)
+		default:
 			res, err = p.runDPCached(ctx, m, req.Opts, start)
 		}
 		if res != nil {
@@ -669,6 +774,21 @@ func (p *Planner) solveWithModel(ctx context.Context, req Request, start time.Ti
 	if req.G != nil && req.G != m.G {
 		return nil, errors.New("planner: Request.Model was built for a different graph than Request.G")
 	}
+	// The Model path skips Solve's fingerprint-time normalization, so apply
+	// the beam width resolution here: zero inherits the planner default, and
+	// an unbounded width routes to the exact DP.
+	if req.Opts.method() == "beam" {
+		if req.Opts.BeamWidth == 0 {
+			req.Opts.BeamWidth = p.cfg.DefaultBeamWidth
+		}
+		if req.Opts.BeamWidth <= 0 {
+			req.Opts.Method = "dp"
+			req.Opts.BeamWidth = 0
+			p.mu.Lock()
+			p.stats.BeamFallbacks++
+			p.mu.Unlock()
+		}
+	}
 	method := req.Opts.method()
 	var res *Result
 	var err error
@@ -677,6 +797,8 @@ func (p *Planner) solveWithModel(ctx context.Context, req Request, start time.Ti
 		res, err = runBaseline(ctx, m.G, m.Spec, method, start)
 	case method == "mcmc":
 		res, err = runMCMC(ctx, m, req.Opts, start)
+	case method == "beam":
+		res, err = p.runBeam(ctx, m, req.Opts, start)
 	default:
 		res, err = runDP(ctx, m, req.Opts, start, p.arena)
 	}
@@ -695,7 +817,9 @@ func dpSeq(m *cost.Model, opts Options) *seq.Sequence {
 	return seq.Generate(m.G)
 }
 
-// dpResult lifts a core DP result into the planner's Result shape.
+// dpResult lifts a core DP result into the planner's Result shape. The
+// exact DP proves optimality by construction; beam callers overwrite Exact
+// with what the solve established.
 func dpResult(r *core.Result, start time.Time) *Result {
 	return &Result{
 		Strategy:         r.Strategy,
@@ -709,6 +833,7 @@ func dpResult(r *core.Result, start time.Time) *Result {
 		EdgeClasses:      r.Stats.EdgeClasses,
 		TableBytes:       r.Stats.TableBytes,
 		SharedTableBytes: r.Stats.SharedTableBytes,
+		Exact:            true,
 	}
 }
 
@@ -725,6 +850,50 @@ func runDP(ctx context.Context, m *cost.Model, opts Options, start time.Time, ar
 		return nil, err
 	}
 	return dpResult(r, start), nil
+}
+
+// runBeam runs the anytime bounded-width DP over a built model. Beam solves
+// always run cold — the incremental re-solve path (runDPCached) retains and
+// diffs exact DP snapshots, and a width-W frontier is not a meaningful delta
+// base — but they share the planner's arena like every other solve.
+func (p *Planner) runBeam(ctx context.Context, m *cost.Model, opts Options, start time.Time) (*Result, error) {
+	br, err := core.SolveBeam(ctx, m, dpSeq(m, opts), core.BeamOptions{
+		Options: core.Options{
+			MaxTableEntries: opts.MaxTableEntries,
+			Workers:         opts.Workers,
+			Arena:           p.arena,
+		},
+		Width:     opts.BeamWidth,
+		GapTarget: opts.GapTarget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := dpResult(&br.Result, start)
+	res.Gap = br.Gap
+	res.Exact = br.Exact
+	res.BeamWidth = opts.BeamWidth
+	res.deadlineTruncated = br.Truncated
+	p.mu.Lock()
+	p.stats.BeamSolves++
+	p.stats.LastGap = br.Gap
+	p.mu.Unlock()
+	return res, nil
+}
+
+// beamDeadlineMargin is how much of the caller's remaining deadline budget a
+// beam flight gives back so its best-so-far result reaches the waiters
+// before their contexts fire: 5% of the remaining time, clamped to
+// [25ms, 200ms].
+func beamDeadlineMargin(remaining time.Duration) time.Duration {
+	margin := remaining / 20
+	if margin > 200*time.Millisecond {
+		margin = 200 * time.Millisecond
+	}
+	if margin < 25*time.Millisecond {
+		margin = 25 * time.Millisecond
+	}
+	return margin
 }
 
 // deltaKey fingerprints the solve shape an incremental re-solve requires two

@@ -23,6 +23,24 @@
 //	res, err = pase.Solve(ctx, pase.SolveRequest{G: g, Spec: spec})
 //	// err wraps context.DeadlineExceeded if the budget ran out.
 //
+// Graphs too large for the exact DP get the anytime beam method: a
+// bounded-width DP that returns a valid strategy with a sound optimality
+// gap, refining (doubling the width) for as long as the deadline allows.
+// The GPT-scale decoder stack in the registry is exactly such a graph —
+// the exact DP exhausts any realistic table budget on it, while beam
+// answers in seconds:
+//
+//	gpt, _ := pase.BenchmarkByName("gptdeep:12")
+//	ctx, cancel = context.WithTimeout(context.Background(), 2*time.Second)
+//	defer cancel()
+//	res, err = pase.Solve(ctx, pase.SolveRequest{
+//		G:    gpt.Build(gpt.Batch),
+//		Spec: pase.GTX1080Ti(32),
+//		Opts: pase.Options{Method: "beam", BeamWidth: 32},
+//	})
+//	// res.Cost is realizable by res.Strategy; the true optimum is within
+//	// [res.Cost/(1+res.Gap), res.Cost]; res.Exact reports a proven optimum.
+//
 // The paper's baselines are Methods on the same request path — cached,
 // deduplicated, and cancellable like any other solve — and Compare runs them
 // all on one graph, reporting each method's simulated speedup over data
@@ -163,31 +181,42 @@ var (
 	// GNMT builds a GNMT-style attentional encoder-decoder LSTM (the
 	// workload the paper's introduction motivates; extra model).
 	GNMT = models.GNMT
+	// GPTDeep builds the GPT-scale decoder stack with cross-layer shared KV
+	// memory — the registry's "graph the exact DP cannot finish" that the
+	// anytime beam method is for.
+	GPTDeep = models.GPTDeep
+	// BaseGPTDeep returns the default GPT-scale decoder configuration at a
+	// batch size and layer count.
+	BaseGPTDeep = models.BaseGPTDeep
 	// Benchmarks lists the paper's four evaluation models.
 	Benchmarks = models.Benchmarks
-	// BenchmarkByName looks a benchmark up by name.
+	// BenchmarkByName looks a benchmark up by name; parameterized models
+	// ("gptdeep", "gptdeep:<layers>") are parsed from the name.
 	BenchmarkByName = models.ByName
 )
 
 // Options tunes a solve request. See planner.Options for field
 // documentation: Method selects the strategy-search method ("dp" default,
-// "mcmc", "dataparallel", "expert:<family>"), Policy restricts enumeration,
-// MaxTableEntries bounds DP memory, BreadthFirst selects the naive ordering
-// baseline, Workers sets DP fill parallelism, and PruneEpsilon enables
-// epsilon-dominance config pruning (cost within (1+ε)² of optimal) on top
-// of the always-on exact dedup.
+// "beam", "mcmc", "dataparallel", "expert:<family>"), Policy restricts
+// enumeration, MaxTableEntries bounds DP memory, BreadthFirst selects the
+// naive ordering baseline, Workers sets DP fill parallelism, PruneEpsilon
+// enables epsilon-dominance config pruning (cost within (1+ε)² of optimal)
+// on top of the always-on exact dedup, and BeamWidth/GapTarget tune the
+// anytime beam method (frontier width and the optimality-gap target its
+// refinement loop works toward under the ctx deadline).
 type Options = planner.Options
 
 // Result is a found strategy with its cost and search statistics, including
 // the Method that produced it, end-to-end SearchTime, the ModelTime share
 // spent building cost tables, whether the planner served it from cache
-// (Cached, Fingerprint), and the config-space reduction stats
-// (PrunedConfigs, KEffective).
+// (Cached, Fingerprint), the config-space reduction stats (PrunedConfigs,
+// KEffective), and the anytime-beam quality contract (Gap, Exact,
+// BeamWidth).
 type Result = planner.Result
 
 // ValidateMethod reports whether a method string is one the solve API
-// serves: "", "dp", "mcmc", "dataparallel", or "expert:<family>". Daemons
-// use it to reject malformed wire requests before fingerprinting.
+// serves: "", "dp", "beam", "mcmc", "dataparallel", or "expert:<family>".
+// Daemons use it to reject malformed wire requests before fingerprinting.
 func ValidateMethod(method string) error { return planner.ValidateMethod(method) }
 
 // Planner is the serving layer above the solve pipeline: bounded LRU caches
