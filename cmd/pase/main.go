@@ -44,18 +44,19 @@ func main() {
 		return
 	}
 	var (
-		model   = flag.String("model", "alexnet", "benchmark model: alexnet, inceptionv3, rnnlm, transformer, or gptdeep[:layers]")
-		gpus    = flag.Int("gpus", 32, "device count p")
-		mach    = flag.String("machine", "1080ti", "machine profile: 1080ti, 2080ti, or uniform:<devices-per-node>:<flops>:<intra-bw>:<inter-bw>")
-		method  = flag.String("method", "dp", "solve method: dp, beam, mcmc, dataparallel, or expert:<family>")
-		width   = flag.Int("width", 0, "beam frontier width for -method beam (0 = unbounded: runs the exact DP)")
-		gap     = flag.Float64("gap", 0, "beam optimality-gap target: >0 refines until reached, 0 refines under -timeout, <0 single pass")
-		timeout = flag.Duration("timeout", 0, "abort the solve after this long (0 = no deadline)")
-		compare = flag.Bool("compare", false, "deprecated: use the compare subcommand (runs it after the solve)")
-		export  = flag.String("export", "", "write the strategy as JSON to this file")
+		model    = flag.String("model", "alexnet", "benchmark model: alexnet, inceptionv3, rnnlm, transformer, or gptdeep[:layers]")
+		gpus     = flag.Int("gpus", 32, "device count p")
+		mach     = flag.String("machine", "1080ti", "machine profile: 1080ti, 2080ti, or uniform:<devices-per-node>:<flops>:<intra-bw>:<inter-bw>")
+		method   = flag.String("method", "dp", "solve method: dp, beam, mcmc, dataparallel, or expert:<family>")
+		width    = flag.Int("width", 0, "beam frontier width for -method beam (0 = unbounded: runs the exact DP)")
+		gap      = flag.Float64("gap", 0, "beam optimality-gap target: >0 refines until reached, 0 refines under -timeout, <0 single pass")
+		timeout  = flag.Duration("timeout", 0, "abort the solve after this long (0 = no deadline)")
+		compare  = flag.Bool("compare", false, "deprecated: use the compare subcommand (runs it after the solve)")
+		export   = flag.String("export", "", "write the strategy as JSON to this file")
+		priority = flag.Int("priority", 0, "admission priority (higher solves first when a planner gate is saturated)")
 	)
 	flag.Parse()
-	if err := run(*model, *gpus, *mach, *method, *width, *gap, *timeout, *compare, *export); err != nil {
+	if err := run(*model, *gpus, *mach, *method, *width, *gap, *timeout, *compare, *export, *priority); err != nil {
 		fmt.Fprintln(os.Stderr, "pase:", err)
 		os.Exit(1)
 	}
@@ -69,7 +70,7 @@ func withDeadline(timeout time.Duration) (context.Context, context.CancelFunc) {
 	return context.WithCancel(context.Background())
 }
 
-func run(model string, gpus int, mach, method string, width int, gap float64, timeout time.Duration, compare bool, exportPath string) error {
+func run(model string, gpus int, mach, method string, width int, gap float64, timeout time.Duration, compare bool, exportPath string, priority int) error {
 	bm, err := pase.BenchmarkByName(model)
 	if err != nil {
 		return err
@@ -90,7 +91,7 @@ func run(model string, gpus int, mach, method string, width int, gap float64, ti
 	res, err := pl.Solve(ctx, pase.SolveRequest{
 		G:    g,
 		Spec: spec,
-		Opts: pase.Options{Policy: bm.Policy(gpus), Method: method, BeamWidth: width, GapTarget: gap},
+		Opts: pase.Options{Policy: bm.Policy(gpus), Method: method, BeamWidth: width, GapTarget: gap, Priority: priority},
 	})
 	if err != nil {
 		return err
@@ -104,6 +105,10 @@ func run(model string, gpus int, mach, method string, width int, gap float64, ti
 		st := pl.Stats()
 		fmt.Printf("anytime: width=%d gap=%.4g exact=%v (beam solves %d, fallbacks %d)\n",
 			res.BeamWidth, res.Gap, res.Exact, st.BeamSolves, st.BeamFallbacks)
+	}
+	if res.Degraded {
+		fmt.Printf("degraded: reason=%s — served as bounded-width beam (width %d, gap %.4g) instead of the exact DP\n",
+			res.DegradeReason, res.BeamWidth, res.Gap)
 	}
 	if res.VertexClasses > 0 {
 		fmt.Printf("structure: %d vertex classes / %d nodes, %d edge classes, tables %.1f MB resident (%.1f MB shared)\n",
@@ -159,6 +164,8 @@ func run(model string, gpus int, mach, method string, width int, gap float64, ti
 		doc.Gap = res.Gap
 		doc.Exact = res.Exact
 		doc.BeamWidth = res.BeamWidth
+		doc.Degraded = res.Degraded
+		doc.DegradeReason = res.DegradeReason
 		f, err := os.Create(exportPath)
 		if err != nil {
 			return err

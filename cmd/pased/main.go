@@ -8,8 +8,27 @@
 // -solve-timeout deadline aborts the model build or DP mid-flight within
 // milliseconds — unless another identical request is still waiting on the
 // same singleflighted solve, in which case it finishes for them. SIGTERM
-// drains gracefully: in-flight requests complete (up to -drain-timeout),
-// then remaining connections are force-closed, which cancels their solves.
+// drains gracefully: /v1/readyz flips to 503 (so load balancers stop routing
+// here), in-flight requests complete (up to -drain-timeout), then remaining
+// connections are force-closed, which cancels their solves.
+//
+// The daemon serves under pressure instead of falling over. -max-inflight
+// bounds concurrent underlying solves with a bounded priority queue behind
+// them (-max-queue; the wire "priority" field orders waiters, FIFO within a
+// priority); arrivals beyond the queue are shed immediately as 429 with a
+// Retry-After hint — never silently blocked. -degrade-beam-width enables
+// graceful degradation: an exact dp request that cannot run (DP table budget
+// exceeded, or the queue deeper than -degrade-queue-depth at arrival) is
+// served by the anytime bounded-width beam instead — a valid strategy marked
+// "degraded": true with a sound optimality gap. Solver panics are isolated
+// per request. Errors are structured: {"error": ..., "code": ...} with
+// stable codes (shed → 429, oom → 503, timeout → 504, cancelled → 499).
+//
+// -snapshot-path enables warm restarts: the result cache and class store are
+// checkpointed there periodically (-snapshot-interval) and on SIGTERM, and
+// restored on boot — /v1/readyz reports 503 until the restore completes, and
+// stale or corrupt snapshots are discarded with a logged warning. After a
+// kill-and-restart, the first repeat request is a cache hit.
 //
 // Usage:
 //
@@ -37,9 +56,12 @@
 //	                   list) on one model and report each method's cost,
 //	                   simulated step, and speedup over data parallelism —
 //	                   the paper's Fig. 6 as an endpoint.
-//	GET  /v1/healthz — liveness.
-//	GET  /v1/stats   — planner cache/dedup/cancellation counters and server
-//	                   counters.
+//	GET  /v1/healthz — liveness (the process is up; always 200).
+//	GET  /v1/readyz  — readiness: 503 while restoring a snapshot on boot and
+//	                   once a SIGTERM drain has begun, 200 otherwise.
+//	GET  /v1/stats   — planner cache/dedup/cancellation/pressure counters
+//	                   (shed, queued, degraded, panics, restored_results) and
+//	                   server counters.
 //
 // -debug-addr mounts net/http/pprof on a separate localhost listener so
 // production hot-path regressions are diagnosable without exposing profiles
@@ -78,6 +100,11 @@ type solveRequest struct {
 	// Machine is a machine-spec string (1080ti, 2080ti, uniform:...);
 	// default 1080ti.
 	Machine string `json:"machine,omitempty"`
+	// Priority orders this request against others waiting for a solve slot
+	// under admission control: higher priorities are granted first, FIFO
+	// within a priority. It is not part of the request's cache identity.
+	// Bounded to [-100, 100]; default 0.
+	Priority int `json:"priority,omitempty"`
 	// Options tunes the method, enumeration, and the solver; omitted means
 	// the DP method under the model's default policy for p.
 	Options *solveOptions `json:"options,omitempty"`
@@ -153,6 +180,12 @@ type solveResponse struct {
 	Gap       float64 `json:"gap"`
 	Exact     bool    `json:"exact"`
 	BeamWidth int     `json:"beam_width"`
+	// Degraded / DegradeReason report that the daemon served this dp request
+	// through its graceful-degradation ladder: a valid bounded-width beam
+	// strategy (gap/beam_width above carry its quality contract) because the
+	// exact solve could not run — "oom" or "pressure".
+	Degraded      bool   `json:"degraded"`
+	DegradeReason string `json:"degrade_reason,omitempty"`
 }
 
 type batchRequest struct {
@@ -211,6 +244,11 @@ type server struct {
 	solveTimeout time.Duration
 	start        time.Time
 	served       atomic.Int64
+	// notReady marks the boot window (snapshot restore in progress) and
+	// draining marks a begun SIGTERM drain; either makes /v1/readyz report
+	// 503 so load balancers route elsewhere while /v1/healthz stays 200.
+	notReady atomic.Bool
+	draining atomic.Bool
 }
 
 func newServer(pl *pase.Planner, maxGPUs int, solveTimeout time.Duration) *server {
@@ -220,6 +258,7 @@ func newServer(pl *pase.Planner, maxGPUs int, solveTimeout time.Duration) *serve
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -251,23 +290,42 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // and metrics.
 const statusClientClosedRequest = 499
 
-// solveStatus maps a planner error onto an HTTP status: OOM is an
-// unprocessable request, a solve-deadline expiry is a gateway timeout, and a
-// client-cancelled solve is 499.
-func solveStatus(err error) int {
+// solveStatus maps a planner error onto an HTTP status and a stable error
+// code for the JSON body: a shed request is 429 (retry later, or elsewhere),
+// OOM is 503 (this daemon cannot serve the exact solve — with degradation
+// enabled most OOMs never surface here), a solve-deadline expiry is a
+// gateway timeout, a client-cancelled solve is 499, and an isolated solver
+// panic is a plain 500.
+func solveStatus(err error) (status int, code string) {
 	switch {
+	case errors.Is(err, pase.ErrShed):
+		return http.StatusTooManyRequests, "shed"
 	case errors.Is(err, pase.ErrOOM):
-		return http.StatusUnprocessableEntity
+		return http.StatusServiceUnavailable, "oom"
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout, "timeout"
 	case errors.Is(err, context.Canceled):
-		return statusClientClosedRequest
+		return statusClientClosedRequest, "cancelled"
+	case errors.Is(err, pase.ErrSolvePanic):
+		return http.StatusInternalServerError, "panic"
 	}
-	return http.StatusInternalServerError
+	return http.StatusInternalServerError, "internal"
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeError writes the structured error body {"error": ..., "code": ...}.
+// Codes are stable API: clients branch on them, not on message text. A shed
+// response carries a Retry-After hint — the queue bound means the backlog
+// clears within a few solves.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error(), "code": code})
+}
+
+func writeSolveError(w http.ResponseWriter, err error) {
+	status, code := solveStatus(err)
+	writeError(w, status, code, err)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -275,6 +333,17 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"status":    "ok",
 		"uptime_ms": time.Since(s.start).Milliseconds(),
 	})
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	case s.notReady.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -285,6 +354,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"cached_results": results,
 		"requests":       s.served.Load(),
 		"uptime_ms":      time.Since(s.start).Milliseconds(),
+		"ready":          !s.notReady.Load() && !s.draining.Load(),
+		"draining":       s.draining.Load(),
 	})
 }
 
@@ -298,6 +369,9 @@ func (s *server) toRequest(sr solveRequest) (pase.SolveRequest, pase.Benchmark, 
 	if sr.GPUs < 1 || sr.GPUs > s.maxGPUs {
 		return pase.SolveRequest{}, pase.Benchmark{}, fmt.Errorf("gpus %d out of range [1, %d]", sr.GPUs, s.maxGPUs)
 	}
+	if sr.Priority < -maxPriority || sr.Priority > maxPriority {
+		return pase.SolveRequest{}, pase.Benchmark{}, fmt.Errorf("priority %d out of range [%d, %d]", sr.Priority, -maxPriority, maxPriority)
+	}
 	batch := bm.Batch
 	if sr.Batch > 0 {
 		batch = sr.Batch
@@ -310,7 +384,7 @@ func (s *server) toRequest(sr solveRequest) (pase.SolveRequest, pase.Benchmark, 
 	if err != nil {
 		return pase.SolveRequest{}, pase.Benchmark{}, err
 	}
-	opts := pase.Options{Policy: bm.Policy(sr.GPUs)}
+	opts := pase.Options{Policy: bm.Policy(sr.GPUs), Priority: sr.Priority}
 	if o := sr.Options; o != nil {
 		// Bound the wire-supplied knobs: this is a shared daemon, and
 		// unchecked values reach the solver's goroutine spawns and DP memory
@@ -380,6 +454,8 @@ func toResponse(req pase.SolveRequest, model string, res *pase.Result) (*solveRe
 	doc.Gap = res.Gap
 	doc.Exact = res.Exact
 	doc.BeamWidth = res.BeamWidth
+	doc.Degraded = res.Degraded
+	doc.DegradeReason = res.DegradeReason
 	return &solveResponse{
 		Strategy:         doc,
 		Method:           res.Method,
@@ -402,6 +478,8 @@ func toResponse(req pase.SolveRequest, model string, res *pase.Result) (*solveRe
 		Gap:              res.Gap,
 		Exact:            res.Exact,
 		BeamWidth:        res.BeamWidth,
+		Degraded:         res.Degraded,
+		DegradeReason:    res.DegradeReason,
 	}, nil
 }
 
@@ -428,30 +506,33 @@ const (
 	// maxGapTarget caps the wire-supplied beam gap target (negatives mean
 	// "single pass" and pass through).
 	maxGapTarget = 1e6
+	// maxPriority bounds the wire-supplied admission priority in both
+	// directions; the range is generous — priorities only order waiters.
+	maxPriority = 100
 )
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.served.Add(1)
 	var sr solveRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&sr); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decode request: %w", err))
 		return
 	}
 	req, bm, err := s.toRequest(sr)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	ctx, cancel := s.solveCtx(r)
 	defer cancel()
 	res, err := s.pl.Solve(ctx, req)
 	if err != nil {
-		writeError(w, solveStatus(err), err)
+		writeSolveError(w, err)
 		return
 	}
 	resp, err := toResponse(req, bm.Name, res)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, "internal", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -461,11 +542,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.served.Add(1)
 	var br batchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&br); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decode request: %w", err))
 		return
 	}
 	if len(br.Requests) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("batch has no requests"))
+		writeError(w, http.StatusBadRequest, "bad_request", errors.New("batch has no requests"))
 		return
 	}
 	entries := make([]batchEntry, len(br.Requests))
@@ -504,26 +585,26 @@ func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	s.served.Add(1)
 	var cr compareRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&cr); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decode request: %w", err))
 		return
 	}
 	if len(cr.Methods) > maxCompareMethods {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("methods list has %d entries, max %d", len(cr.Methods), maxCompareMethods))
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("methods list has %d entries, max %d", len(cr.Methods), maxCompareMethods))
 		return
 	}
 	for _, m := range cr.Methods {
 		if m == "" {
-			writeError(w, http.StatusBadRequest, errors.New(`empty method in "methods" (use "dp")`))
+			writeError(w, http.StatusBadRequest, "bad_request", errors.New(`empty method in "methods" (use "dp")`))
 			return
 		}
 		if err := pase.ValidateMethod(m); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, "bad_request", err)
 			return
 		}
 	}
 	req, bm, err := s.toRequest(cr.solveRequest)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	batch := bm.Batch
@@ -541,7 +622,7 @@ func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		Methods: cr.Methods,
 	})
 	if err != nil {
-		writeError(w, solveStatus(err), err)
+		writeSolveError(w, err)
 		return
 	}
 	resp := compareResponse{Model: bm.Name, Devices: req.Spec.Devices, Baseline: cmp.Baseline}
@@ -600,6 +681,13 @@ func main() {
 		solveTimeout = flag.Duration("solve-timeout", 2*time.Minute, "per-request solve deadline; the solve is aborted mid-DP when it expires (0 = no deadline)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long SIGTERM waits for in-flight requests before force-closing connections (which cancels their solves)")
 		debugAddr    = flag.String("debug-addr", "", "optional localhost listen address serving net/http/pprof (e.g. 127.0.0.1:6060); off when empty")
+		maxInflight  = flag.Int("max-inflight", 0, "max concurrent underlying solves; requests beyond it queue by priority, and a full queue sheds as 429 (0 = unbounded: admission control off)")
+		maxQueue     = flag.Int("max-queue", 0, "max requests waiting for a solve slot before load shedding (0 = default 64; effective only with -max-inflight)")
+		degradeWidth = flag.Int("degrade-beam-width", 16, "beam frontier width for degraded dp solves — served when the exact DP exceeds its table budget or the queue is deep (0 = degradation off: OOM surfaces as 503)")
+		degradeDepth = flag.Int("degrade-queue-depth", 0, "queue depth at arrival beyond which dp requests degrade to the bounded beam (0 = max-queue/2, negative = never degrade on queue pressure)")
+		faultPlan    = flag.String("fault-plan", "", "DEBUG ONLY: fault-injection spec site:kind[:arg],... (sites solve, dp, model; kinds oom, panic, latency) for exercising shed/degrade/panic paths")
+		snapPath     = flag.String("snapshot-path", "", "warm-restart snapshot file: restored on boot, checkpointed every -snapshot-interval and on SIGTERM (off when empty)")
+		snapEvery    = flag.Duration("snapshot-interval", 5*time.Minute, "periodic checkpoint interval when -snapshot-path is set (0 = checkpoint only on SIGTERM)")
 	)
 	flag.Parse()
 	if *pruneEps < 0 || *pruneEps > maxPruneEpsilon {
@@ -607,6 +695,19 @@ func main() {
 	}
 	if *beamWidth < 0 || *beamWidth > maxBeamWidth {
 		log.Fatalf("pased: -default-beam-width %d out of range [0, %d]", *beamWidth, maxBeamWidth)
+	}
+	if *degradeWidth < 0 || *degradeWidth > maxBeamWidth {
+		log.Fatalf("pased: -degrade-beam-width %d out of range [0, %d]", *degradeWidth, maxBeamWidth)
+	}
+	if *maxInflight < 0 || *maxQueue < 0 {
+		log.Fatalf("pased: -max-inflight %d / -max-queue %d must be >= 0", *maxInflight, *maxQueue)
+	}
+	faults, err := pase.ParseFaultPlan(*faultPlan)
+	if err != nil {
+		log.Fatalf("pased: -fault-plan: %v", err)
+	}
+	if faults != nil {
+		log.Printf("pased: WARNING: fault injection armed (%s) — debug use only", faults)
 	}
 
 	if *debugAddr != "" {
@@ -635,10 +736,21 @@ func main() {
 		DeltaCacheSize:      *deltaCache,
 		DeltaThreshold:      *deltaThresh,
 		DefaultBeamWidth:    *beamWidth,
+		MaxInFlight:         *maxInflight,
+		MaxQueue:            *maxQueue,
+		DegradeBeamWidth:    *degradeWidth,
+		DegradeQueueDepth:   *degradeDepth,
+		FaultPlan:           faults,
 	})
+	sv := newServer(pl, *maxGPUs, *solveTimeout)
+	if *snapPath != "" {
+		// Not ready until the snapshot restore below completes; the listener
+		// starts first so /v1/readyz is answerable (503) during the restore.
+		sv.notReady.Store(true)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(pl, *maxGPUs, *solveTimeout).mux(),
+		Handler:           sv.mux(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -647,15 +759,48 @@ func main() {
 		log.Printf("pased: serving on %s (solve timeout %s)", *addr, *solveTimeout)
 		errc <- srv.ListenAndServe()
 	}()
+
+	// Warm restart: restore the previous run's result cache and class store.
+	// A stale or corrupt snapshot is a logged warning and a cold start, never
+	// a crash — robustness state must not take the daemon down.
+	stopCheckpoints := make(chan struct{})
+	if *snapPath != "" {
+		if nres, nclasses, err := pl.LoadSnapshot(*snapPath); err != nil {
+			log.Printf("pased: WARNING: discarding snapshot %s: %v (starting cold)", *snapPath, err)
+		} else if nres > 0 || nclasses > 0 {
+			log.Printf("pased: restored snapshot %s (%d results, %d class entries)", *snapPath, nres, nclasses)
+		}
+		sv.notReady.Store(false)
+		if *snapEvery > 0 {
+			go func() {
+				t := time.NewTicker(*snapEvery)
+				defer t.Stop()
+				for {
+					select {
+					case <-t.C:
+						if err := pl.SaveSnapshot(*snapPath); err != nil {
+							log.Printf("pased: WARNING: checkpoint %s: %v", *snapPath, err)
+						}
+					case <-stopCheckpoints:
+						return
+					}
+				}
+			}()
+		}
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		log.Fatalf("pased: %v", err)
 	case sig := <-sigc:
-		// Graceful drain: stop accepting, let in-flight solves finish up to
-		// the drain budget, then force-close what remains — closing a
-		// connection cancels its request context, which aborts its solve.
+		// Graceful drain: flip readiness (load balancers stop routing here),
+		// stop accepting, let in-flight solves finish up to the drain budget,
+		// then force-close what remains — closing a connection cancels its
+		// request context, which aborts its solve.
+		sv.draining.Store(true)
+		close(stopCheckpoints)
 		log.Printf("pased: %v, draining in-flight requests (up to %s)", sig, *drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
@@ -663,6 +808,15 @@ func main() {
 			log.Printf("pased: drain expired (%v); force-closing connections", err)
 			if err := srv.Close(); err != nil {
 				log.Fatalf("pased: close: %v", err)
+			}
+		}
+		if *snapPath != "" {
+			// Final checkpoint after the drain: everything solved during the
+			// drain window makes it into the warm-restart state.
+			if err := pl.SaveSnapshot(*snapPath); err != nil {
+				log.Printf("pased: WARNING: final checkpoint %s: %v", *snapPath, err)
+			} else {
+				log.Printf("pased: snapshot saved to %s", *snapPath)
 			}
 		}
 		log.Printf("pased: drained, exiting")

@@ -127,11 +127,24 @@ func TestSolveValidation(t *testing.T) {
 			t.Errorf("solve(%s) status %d, want %d (%v)", body, status, wantStatus, out)
 		}
 	}
-	// The OOM outcome maps to 422, not 500.
+	// The OOM outcome maps to 503 with the stable code "oom" (degradation is
+	// off in this zero-config server, so the error surfaces).
 	status, out := postJSON(t, ts.URL+"/v1/solve",
 		`{"model":"inceptionv3","gpus":8,"options":{"breadth_first":true}}`)
-	if status != http.StatusUnprocessableEntity {
-		t.Fatalf("BF InceptionV3 status %d, want 422 (%v)", status, out)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("BF InceptionV3 status %d, want 503 (%v)", status, out)
+	}
+	if out["code"] != "oom" {
+		t.Fatalf("BF InceptionV3 code %v, want %q", out["code"], "oom")
+	}
+	// Priority is bounded in both directions.
+	for _, body := range []string{
+		`{"model":"alexnet","gpus":8,"priority":101}`,
+		`{"model":"alexnet","gpus":8,"priority":-101}`,
+	} {
+		if status, out := postJSON(t, ts.URL+"/v1/solve", body); status != http.StatusBadRequest {
+			t.Errorf("solve(%s) status %d, want 400 (%v)", body, status, out)
+		}
 	}
 }
 
@@ -461,5 +474,8 @@ func TestSolveTimeoutMapsToGatewayTimeout(t *testing.T) {
 	status, out := postJSON(t, ts.URL+"/v1/solve", `{"model":"inceptionv3","gpus":32}`)
 	if status != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504 (%v)", status, out)
+	}
+	if out["code"] != "timeout" {
+		t.Fatalf("code %v, want %q", out["code"], "timeout")
 	}
 }

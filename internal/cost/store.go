@@ -85,14 +85,14 @@ type storeEntry struct {
 type ClassStore struct {
 	maxBytes int64
 
-	mu        sync.Mutex
-	entries   map[canon.Fingerprint]*storeEntry
+	mu         sync.Mutex
+	entries    map[canon.Fingerprint]*storeEntry
 	head, tail *storeEntry // LRU: head most recent
-	bytes     int64
-	hits      int64
-	misses    int64
-	evictions int64
-	saved     int64
+	bytes      int64
+	hits       int64
+	misses     int64
+	evictions  int64
+	saved      int64
 }
 
 // NewClassStore returns a store bounded to maxBytes of resident class
@@ -279,4 +279,116 @@ func configBytes(cfgs []itspace.Config) int64 {
 		b += int64(len(c)) * 8
 	}
 	return b
+}
+
+// Snapshot entry kinds, one per stored value type (see the phase kinds
+// above). The zero kind is reserved so a corrupt entry never decodes as
+// valid.
+const (
+	snapKindVertex uint8 = iota + 1
+	snapKindEdge
+	snapKindPrune
+	snapKindCompact
+)
+
+// StoreSnapshotEntry is one class entry in wire form — a flattened union of
+// the four stored table kinds, safe for gob. Produced by Snapshot and
+// consumed by Restore; the planner embeds these in its warm-restart snapshot
+// (DESIGN.md "Pressure & degradation").
+type StoreSnapshotEntry struct {
+	Key   canon.Fingerprint
+	Kind  uint8
+	Bytes int64
+	Cfgs  []itspace.Config
+	TL    []float64
+	Tab   []float64
+	TabT  []float64
+	Keep  []int
+	Rep   []int32
+	KV    int
+}
+
+// Snapshot returns the store's published entries from least to most recently
+// used, so that a Restore in slice order reproduces the recency order.
+// Entries still building are skipped — they hold no tables yet.
+func (s *ClassStore) Snapshot() []StoreSnapshotEntry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StoreSnapshotEntry, 0, len(s.entries))
+	for e := s.tail; e != nil; e = e.prev {
+		select {
+		case <-e.ready:
+		default:
+			continue
+		}
+		if e.err != nil {
+			continue
+		}
+		se := StoreSnapshotEntry{Key: e.key, Bytes: e.bytes}
+		switch v := e.val.(type) {
+		case vertexTables:
+			se.Kind, se.Cfgs, se.TL = snapKindVertex, v.cfgs, v.tl
+		case edgeTables:
+			se.Kind, se.Tab, se.TabT = snapKindEdge, v.tab, v.tabT
+		case pruneTables:
+			se.Kind, se.Keep, se.Rep, se.Cfgs, se.TL = snapKindPrune, v.keep, v.rep, v.cfgs, v.tl
+		case compactTables:
+			se.Kind, se.Tab, se.TabT, se.KV = snapKindCompact, v.tab, v.tabT, v.kv
+		default:
+			continue
+		}
+		out = append(out, se)
+	}
+	return out
+}
+
+// Restore publishes snapshot entries into the store, in slice order (least
+// recent first — each insert front-moves, so the last entry ends most
+// recent). Entries with unknown kinds are skipped (a newer snapshot restored
+// by older code degrades to a partial warm cache), as are keys already
+// present or building. After inserting, the store evicts tail entries as
+// usual until its byte budget holds. Returns the number of entries restored.
+func (s *ClassStore) Restore(entries []StoreSnapshotEntry) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	restored := 0
+	for i := range entries {
+		se := &entries[i]
+		var val any
+		switch se.Kind {
+		case snapKindVertex:
+			val = vertexTables{cfgs: se.Cfgs, tl: se.TL}
+		case snapKindEdge:
+			val = edgeTables{tab: se.Tab, tabT: se.TabT}
+		case snapKindPrune:
+			val = pruneTables{keep: se.Keep, rep: se.Rep, cfgs: se.Cfgs, tl: se.TL}
+		case snapKindCompact:
+			val = compactTables{tab: se.Tab, tabT: se.TabT, kv: se.KV}
+		default:
+			continue
+		}
+		if _, ok := s.entries[se.Key]; ok {
+			continue
+		}
+		e := &storeEntry{key: se.Key, val: val, bytes: se.Bytes, ready: make(chan struct{})}
+		close(e.ready)
+		s.entries[se.Key] = e
+		s.pushFront(e)
+		s.bytes += e.bytes
+		restored++
+	}
+	for s.bytes > s.maxBytes && s.tail != nil {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.entries, victim.key)
+		s.bytes -= victim.bytes
+		s.evictions++
+	}
+	return restored
 }

@@ -75,6 +75,13 @@ type Document struct {
 	ClassStoreHits  int64 `json:"class_store_hits,omitempty"`
 	ClassStoreBytes int64 `json:"class_store_bytes,omitempty"`
 	DeltaResolve    bool  `json:"delta_resolve,omitempty"`
+	// Degraded / DegradeReason, when set, record that the planner served
+	// this "dp" request through its graceful-degradation ladder: the
+	// strategy is a valid bounded-width beam result (Gap/BeamWidth carry its
+	// quality contract) produced because the exact solve could not run —
+	// "oom" (table budget exceeded) or "pressure" (deep admission queue).
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradeReason string `json:"degrade_reason,omitempty"`
 	// Layers holds one entry per node, in graph node order.
 	Layers []Layer `json:"layers"`
 }

@@ -94,3 +94,12 @@ func (c *lruCache[K, V]) Put(k K, v V) {
 
 // Len returns the number of cached entries.
 func (c *lruCache[K, V]) Len() int { return len(c.entries) }
+
+// Each visits entries from least to most recently used without touching
+// recency. Snapshots iterate in this order so that restoring via Put (which
+// marks each entry most recent) reproduces the original recency order.
+func (c *lruCache[K, V]) Each(f func(K, V)) {
+	for e := c.tail; e != nil; e = e.prev {
+		f(e.key, e.val)
+	}
+}

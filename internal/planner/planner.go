@@ -43,8 +43,34 @@ import (
 	"pase/internal/itspace"
 	"pase/internal/machine"
 	"pase/internal/mcmc"
+	"pase/internal/pressure"
 	"pase/internal/seq"
 	"pase/internal/strategies"
+)
+
+// ErrShed is returned when admission control rejects a request because the
+// solve queue is full (Config.MaxInFlight/MaxQueue). The rejection is
+// immediate — a saturated planner answers in microseconds, never by
+// blocking — and the request is safe to retry once pressure subsides.
+var ErrShed = pressure.ErrShed
+
+// ErrSolvePanic wraps a panic recovered from an underlying solve or model
+// build: the panicking request (and any ride-along waiters) fails with this
+// error, the planner's Panics counter increments, and every other request
+// keeps being served.
+var ErrSolvePanic = errors.New("planner: solve panicked")
+
+// Degradation reasons reported on Result.DegradeReason.
+const (
+	// DegradeReasonOOM: the exact DP exceeded its table budget (core.ErrOOM),
+	// so the planner served the bounded-width beam solve instead. The outcome
+	// is deterministic for the request, so it IS cached — repeat requests get
+	// the degraded answer immediately instead of re-running into the OOM.
+	DegradeReasonOOM = "oom"
+	// DegradeReasonPressure: the admission queue was deep enough at arrival
+	// that the planner traded exactness for latency. Pressure is transient,
+	// so the result is served to the current waiters but never cached.
+	DegradeReasonPressure = "pressure"
 )
 
 // Options tunes a solve request. It is re-exported as pase.Options.
@@ -111,6 +137,12 @@ type Options struct {
 	// target is part of the request's cache identity (negatives normalize to
 	// -1). Ignored by every method but "beam".
 	GapTarget float64
+	// Priority orders requests waiting for a solve slot under admission
+	// control (Config.MaxInFlight): higher priorities are granted slots
+	// first, ties are served FIFO in arrival order. It cannot change which
+	// result is produced, so it is NOT part of the request's cache identity;
+	// without admission control it is ignored.
+	Priority int
 }
 
 // method returns the normalized method name ("" means "dp").
@@ -218,13 +250,32 @@ type Result struct {
 	// gap closed to zero), false for mcmc and the baselines.
 	Exact bool
 	// BeamWidth is the frontier width a "beam" request resolved to (after
-	// Config.DefaultBeamWidth); zero for every other method.
+	// Config.DefaultBeamWidth); zero for every other method — except a
+	// degraded "dp" request, where it reports the degraded solve's width.
 	BeamWidth int
+	// Degraded reports the planner served this "dp" request through the
+	// degradation ladder: the bounded-width beam solve ran instead of the
+	// exact DP (Method still reports the requested "dp"). The Strategy is
+	// valid and Cost realizable; Gap bounds the true optimum in
+	// [Cost/(1+Gap), Cost], BeamWidth reports the width used, and Exact is
+	// false unless the beam proved exactness anyway. DegradeReason says why:
+	// DegradeReasonOOM (cached — the exact solve deterministically exceeds
+	// its budget) or DegradeReasonPressure (transient — never cached).
+	Degraded      bool
+	DegradeReason string
 	// deadlineTruncated marks an anytime result whose refinement was cut
 	// short by the caller's deadline (or a late-pass budget hit): an
 	// identical request with more time could do better, so the planner
 	// serves it to the current waiters but keeps it out of the result cache.
 	deadlineTruncated bool
+}
+
+// noCache reports that this result must not enter the result cache: it was
+// deadline-truncated (more time would refine it) or degraded under transient
+// queue pressure (the exact answer is still reachable once pressure
+// subsides). OOM-degraded results ARE cached — see DegradeReasonOOM.
+func (r *Result) noCache() bool {
+	return r.deadlineTruncated || r.DegradeReason == DegradeReasonPressure
 }
 
 // clone returns an independent copy whose strategy the caller may mutate.
@@ -315,6 +366,35 @@ type Config struct {
 	// no default: a "beam" request without a width is unbounded and routes
 	// to the exact "dp" path (counted in Stats.BeamFallbacks).
 	DefaultBeamWidth int
+	// MaxInFlight enables admission control when > 0: at most this many
+	// underlying solves run concurrently, at most MaxQueue more wait for a
+	// slot (by Options.Priority, FIFO within a priority), and arrivals
+	// beyond that are rejected immediately with ErrShed. Cache hits and
+	// ride-alongs on in-flight identical solves are always admitted — they
+	// perform no new work. Zero disables admission control entirely
+	// (the pre-pressure behavior).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a solve slot (only meaningful
+	// with MaxInFlight > 0). Zero selects pressure.DefaultMaxQueue.
+	MaxQueue int
+	// DegradeBeamWidth enables the graceful-degradation ladder when > 0: a
+	// "dp" request whose exact solve hits core.ErrOOM — or that arrives
+	// while the admission queue is at least DegradeQueueDepth deep — is
+	// served by a single bounded-width beam pass at this width instead of
+	// failing or adding exact-solve latency to a saturated queue. Degraded
+	// results are marked (Result.Degraded/DegradeReason) and carry the beam
+	// gap contract. Zero disables degradation: ErrOOM surfaces to the
+	// caller as before.
+	DegradeBeamWidth int
+	// DegradeQueueDepth is the admission-queue depth at which incoming "dp"
+	// requests start degrading (with DegradeBeamWidth > 0 and admission
+	// control on). Zero selects half of MaxQueue (at least 1); negative
+	// restricts degradation to the ErrOOM ladder only.
+	DegradeQueueDepth int
+	// FaultPlan, when non-nil, injects deterministic faults (ErrOOM,
+	// panics, latency) at named pipeline sites — see pressure.ParseFaultPlan.
+	// Test and debug only; nil in production.
+	FaultPlan *pressure.FaultPlan
 }
 
 func (c Config) modelCacheSize() int {
@@ -353,6 +433,25 @@ func (c Config) deltaThreshold() float64 {
 		return DefaultDeltaThreshold
 	}
 	return c.DeltaThreshold
+}
+
+// degradeQueueDepth resolves the queue depth at which "dp" requests degrade;
+// a negative configured value means "never by pressure" (OOM ladder only).
+func (c Config) degradeQueueDepth() (depth int, byPressure bool) {
+	if c.DegradeQueueDepth < 0 {
+		return 0, false
+	}
+	if c.DegradeQueueDepth > 0 {
+		return c.DegradeQueueDepth, true
+	}
+	q := c.MaxQueue
+	if q <= 0 {
+		q = pressure.DefaultMaxQueue
+	}
+	if q/2 < 1 {
+		return 1, true
+	}
+	return q / 2, true
 }
 
 // Stats is a snapshot of the planner's cache and dedup counters. "One
@@ -420,6 +519,23 @@ type Stats struct {
 	BeamSolves    int64   `json:"beam_solves"`
 	BeamFallbacks int64   `json:"beam_fallbacks"`
 	LastGap       float64 `json:"last_gap"`
+	// Shed counts requests rejected immediately because the admission queue
+	// was full; Queued counts requests that waited for a solve slot.
+	// QueueDepth and InFlight are gauges read at snapshot time. All zero
+	// without admission control (Config.MaxInFlight).
+	Shed       int64 `json:"shed"`
+	Queued     int64 `json:"queued"`
+	QueueDepth int   `json:"queue_depth"`
+	InFlight   int   `json:"in_flight"`
+	// Degraded counts "dp" requests served by the degradation ladder (a
+	// bounded beam solve instead of the exact DP — ErrOOM or queue
+	// pressure); Panics counts solves or model builds that panicked and
+	// were isolated to their own request.
+	Degraded int64 `json:"degraded"`
+	Panics   int64 `json:"panics"`
+	// RestoredResults counts result-cache entries loaded from a warm-restart
+	// snapshot (Planner.LoadSnapshot).
+	RestoredResults int64 `json:"restored_results"`
 }
 
 // solveFlight is one in-flight underlying solve. waiters counts the callers
@@ -454,6 +570,10 @@ type Planner struct {
 	// ever per planner across distinct graphs, sweep points, and concurrent
 	// requests. nil when Config.DisableClassStore.
 	store *cost.ClassStore
+	// gate is the admission gate bounding concurrent underlying solves and
+	// the queue behind them. nil when Config.MaxInFlight is zero: every
+	// request is admitted unconditionally.
+	gate *pressure.Gate
 
 	mu           sync.Mutex
 	models       *lruCache[canon.Fingerprint, *cost.Model]
@@ -483,6 +603,12 @@ func New(cfg Config) *Planner {
 	}
 	if !cfg.DisableClassStore {
 		p.store = cost.NewClassStore(cfg.ClassStoreBytes)
+	}
+	if cfg.MaxInFlight > 0 {
+		p.gate = pressure.NewGate(pressure.GateConfig{
+			MaxInFlight: cfg.MaxInFlight,
+			MaxQueue:    cfg.MaxQueue,
+		})
 	}
 	p.models = newLRU[canon.Fingerprint, *cost.Model](cfg.modelCacheSize(), func(canon.Fingerprint, *cost.Model) {
 		p.stats.ModelEvictions++
@@ -628,20 +754,63 @@ func (p *Planner) Solve(ctx context.Context, req Request) (*Result, error) {
 	}
 	modelFP, solveFP := Fingerprints(req)
 
+	// Fast path: cache hits and ride-alongs on in-flight identical solves
+	// bypass admission control — they perform no new underlying work, so
+	// shedding or queueing them would only add latency to free answers.
 	p.mu.Lock()
 	if r, ok := p.results.Get(solveFP); ok {
 		p.stats.ResultHits++
 		p.mu.Unlock()
-		out := r.clone()
-		out.Cached = true
-		out.ModelTime = 0
-		out.SearchTime = time.Since(start)
-		return out, nil
+		return cachedResult(r, start), nil
 	}
 	if fl, ok := p.solveFlights[solveFP]; ok {
 		p.stats.DedupWaits++
 		fl.waiters++
 		p.mu.Unlock()
+		return p.waitSolve(ctx, solveFP, fl, start, false)
+	}
+	p.mu.Unlock()
+
+	// Admission: this request is about to start a new underlying solve, so
+	// it must hold one of the MaxInFlight slots (waiting by priority when
+	// none is free, shed immediately when the queue is full). The observed
+	// queue depth at arrival is the pressure signal for the degradation
+	// ladder: a deep queue downgrades exact "dp" requests to a fast bounded
+	// beam pass so the queue keeps draining.
+	degradeReason := ""
+	release := func() {}
+	if p.gate != nil {
+		depth, err := p.gate.Acquire(ctx, req.Opts.Priority)
+		if err != nil {
+			if !errors.Is(err, pressure.ErrShed) {
+				p.mu.Lock()
+				p.stats.Cancelled++
+				p.mu.Unlock()
+			}
+			return nil, err
+		}
+		release = p.gate.Release
+		if p.cfg.DegradeBeamWidth > 0 && req.Opts.method() == "dp" {
+			if thr, byPressure := p.cfg.degradeQueueDepth(); byPressure && depth >= thr {
+				degradeReason = DegradeReasonPressure
+			}
+		}
+	}
+
+	p.mu.Lock()
+	// Re-check under the lock: an identical request may have completed or
+	// started its flight while this one waited for admission.
+	if r, ok := p.results.Get(solveFP); ok {
+		p.stats.ResultHits++
+		p.mu.Unlock()
+		release()
+		return cachedResult(r, start), nil
+	}
+	if fl, ok := p.solveFlights[solveFP]; ok {
+		p.stats.DedupWaits++
+		fl.waiters++
+		p.mu.Unlock()
+		release()
 		return p.waitSolve(ctx, solveFP, fl, start, false)
 	}
 	p.stats.ResultMisses++
@@ -667,16 +836,18 @@ func (p *Planner) Solve(ctx context.Context, req Request) (*Result, error) {
 		}
 	}
 	go func() {
+		defer release()
 		defer stopTimer()
-		res, err := p.doSolve(solveCtx, req, modelFP, solveFP, start)
+		res, err := p.solveGuarded(solveCtx, req, modelFP, solveFP, start, degradeReason)
 		p.mu.Lock()
 		if p.solveFlights[solveFP] == fl {
 			delete(p.solveFlights, solveFP)
 		}
-		// Deadline-truncated anytime results are served to the flight's
-		// waiters but not cached: the same request with more time could
-		// refine further, and a cache would freeze the early answer.
-		if err == nil && !res.deadlineTruncated {
+		// Deadline-truncated and pressure-degraded results are served to
+		// the flight's waiters but not cached: the same request with more
+		// time (or less pressure) could do better, and a cache would freeze
+		// the early answer. OOM-degraded results are cached — see noCache.
+		if err == nil && !res.noCache() {
 			p.results.Put(solveFP, res)
 		}
 		fl.res, fl.err = res, err
@@ -685,6 +856,34 @@ func (p *Planner) Solve(ctx context.Context, req Request) (*Result, error) {
 		cancel(nil)
 	}()
 	return p.waitSolve(ctx, solveFP, fl, start, true)
+}
+
+// cachedResult lifts a result-cache hit into the caller's copy.
+func cachedResult(r *Result, start time.Time) *Result {
+	out := r.clone()
+	out.Cached = true
+	out.ModelTime = 0
+	out.SearchTime = time.Since(start)
+	return out
+}
+
+// guard converts a panic on the calling goroutine into an ErrSolvePanic
+// failure of just this request, counting it. Call via defer with the named
+// return values.
+func (p *Planner) guard(res **Result, err *error) {
+	if r := recover(); r != nil {
+		p.mu.Lock()
+		p.stats.Panics++
+		p.mu.Unlock()
+		*res, *err = nil, fmt.Errorf("%w: %v", ErrSolvePanic, r)
+	}
+}
+
+// solveGuarded is doSolve behind panic isolation: a panicking solve fails
+// only its own flight (the waiters see ErrSolvePanic), never the process.
+func (p *Planner) solveGuarded(ctx context.Context, req Request, modelFP, solveFP canon.Fingerprint, start time.Time, degradeReason string) (res *Result, err error) {
+	defer p.guard(&res, &err)
+	return p.doSolve(ctx, req, modelFP, solveFP, start, degradeReason)
 }
 
 // waitSolve blocks until the flight completes or the caller's ctx is
@@ -724,8 +923,14 @@ func (p *Planner) waitSolve(ctx context.Context, fp canon.Fingerprint, fl *solve
 // doSolve performs the one underlying solve for a fingerprint, dispatching
 // on the request's method: model acquisition (cached, deduplicated, or
 // built) followed by the method's search, or a direct baseline evaluation
-// (baselines price one fixed strategy and never need a model).
-func (p *Planner) doSolve(ctx context.Context, req Request, modelFP, solveFP canon.Fingerprint, start time.Time) (*Result, error) {
+// (baselines price one fixed strategy and never need a model). A non-empty
+// degradeReason (queue pressure observed at admission) routes a "dp" request
+// straight to the bounded beam solve; an ErrOOM from the exact DP takes the
+// same ladder with DegradeReasonOOM.
+func (p *Planner) doSolve(ctx context.Context, req Request, modelFP, solveFP canon.Fingerprint, start time.Time, degradeReason string) (*Result, error) {
+	if err := p.cfg.FaultPlan.Fire(ctx, pressure.SiteSolve); err != nil {
+		return nil, err
+	}
 	method := req.Opts.method()
 	var res *Result
 	var err error
@@ -747,7 +952,16 @@ func (p *Planner) doSolve(ctx context.Context, req Request, modelFP, solveFP can
 		case "beam":
 			res, err = p.runBeam(ctx, m, req.Opts, start)
 		default:
-			res, err = p.runDPCached(ctx, m, req.Opts, start)
+			if degradeReason != "" {
+				res, err = p.runDegraded(ctx, m, req.Opts, start, degradeReason)
+				break
+			}
+			if err = p.cfg.FaultPlan.Fire(ctx, pressure.SiteDP); err == nil {
+				res, err = p.runDPCached(ctx, m, req.Opts, start)
+			}
+			if err != nil && errors.Is(err, core.ErrOOM) && p.cfg.DegradeBeamWidth > 0 {
+				res, err = p.runDegraded(ctx, m, req.Opts, start, DegradeReasonOOM)
+			}
 		}
 		if res != nil {
 			res.ModelTime = modelTime
@@ -768,8 +982,10 @@ func (p *Planner) doSolve(ctx context.Context, req Request, modelFP, solveFP can
 
 // solveWithModel is the Request.Model path: the unified method dispatch over
 // a caller-supplied model, bypassing the caches (see Request.Model for the
-// contract).
-func (p *Planner) solveWithModel(ctx context.Context, req Request, start time.Time) (*Result, error) {
+// contract). It also bypasses admission control and the degradation ladder —
+// the caller owns the model and its memory — but shares panic isolation.
+func (p *Planner) solveWithModel(ctx context.Context, req Request, start time.Time) (res *Result, err error) {
+	defer p.guard(&res, &err)
 	m := req.Model
 	if req.G != nil && req.G != m.G {
 		return nil, errors.New("planner: Request.Model was built for a different graph than Request.G")
@@ -790,8 +1006,6 @@ func (p *Planner) solveWithModel(ctx context.Context, req Request, start time.Ti
 		}
 	}
 	method := req.Opts.method()
-	var res *Result
-	var err error
 	switch {
 	case strategies.IsBaselineMethod(method):
 		res, err = runBaseline(ctx, m.G, m.Spec, method, start)
@@ -877,6 +1091,26 @@ func (p *Planner) runBeam(ctx context.Context, m *cost.Model, opts Options, star
 	p.mu.Lock()
 	p.stats.BeamSolves++
 	p.stats.LastGap = br.Gap
+	p.mu.Unlock()
+	return res, nil
+}
+
+// runDegraded is the degradation ladder's landing: a single bounded-width
+// beam pass at Config.DegradeBeamWidth in place of the exact DP, marked on
+// the Result so callers and caches can tell. A single pass (no refinement
+// loop) because degradation exists to answer fast — under queue pressure or
+// after an ErrOOM — not to chase the gap.
+func (p *Planner) runDegraded(ctx context.Context, m *cost.Model, opts Options, start time.Time, reason string) (*Result, error) {
+	opts.BeamWidth = p.cfg.DegradeBeamWidth
+	opts.GapTarget = -1
+	res, err := p.runBeam(ctx, m, opts, start)
+	if err != nil {
+		return nil, err
+	}
+	res.Degraded = true
+	res.DegradeReason = reason
+	p.mu.Lock()
+	p.stats.Degraded++
 	p.mu.Unlock()
 	return res, nil
 }
@@ -1106,10 +1340,7 @@ func (p *Planner) model(ctx context.Context, req Request, modelFP canon.Fingerpr
 	p.mu.Unlock()
 
 	go func() {
-		m, err := cost.NewModelWith(buildCtx, req.G, req.Spec, req.Opts.Policy, cost.BuildOptions{
-			PruneEpsilon: req.Opts.PruneEpsilon,
-			Store:        p.store,
-		})
+		m, err := p.buildModelGuarded(buildCtx, req)
 		p.mu.Lock()
 		if p.modelFlights[modelFP] == fl {
 			delete(p.modelFlights, modelFP)
@@ -1128,6 +1359,27 @@ func (p *Planner) model(ctx context.Context, req Request, modelFP canon.Fingerpr
 		cancel(nil)
 	}()
 	return p.waitModel(ctx, modelFP, fl, true, countCancel)
+}
+
+// buildModelGuarded runs a model build behind the fault plan's model site
+// and panic isolation: a panicking build fails its flight's waiters with
+// ErrSolvePanic instead of killing the process.
+func (p *Planner) buildModelGuarded(ctx context.Context, req Request) (m *cost.Model, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.mu.Lock()
+			p.stats.Panics++
+			p.mu.Unlock()
+			m, err = nil, fmt.Errorf("%w: %v", ErrSolvePanic, r)
+		}
+	}()
+	if err := p.cfg.FaultPlan.Fire(ctx, pressure.SiteModel); err != nil {
+		return nil, err
+	}
+	return cost.NewModelWith(ctx, req.G, req.Spec, req.Opts.Policy, cost.BuildOptions{
+		PruneEpsilon: req.Opts.PruneEpsilon,
+		Store:        p.store,
+	})
 }
 
 // waitModel is waitSolve's analogue for model-build flights.
@@ -1219,6 +1471,11 @@ func (p *Planner) Stats() Stats {
 	st.ClassStoreBytes = ss.Bytes
 	st.ClassStoreSavedBytes = ss.SavedBytes
 	st.ClassStoreEvictions = ss.Evictions
+	gs := p.gate.Stats()
+	st.Shed = gs.Shed
+	st.Queued = gs.Queued
+	st.QueueDepth = gs.QueueDepth
+	st.InFlight = gs.InFlight
 	return st
 }
 

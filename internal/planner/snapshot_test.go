@@ -1,0 +1,225 @@
+package planner
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotRoundTrip: a fresh planner restored from a snapshot serves the
+// snapshotted requests as cache hits, byte-identical to the originals, and
+// its class store resolves model builds from the restored entries.
+func TestSnapshotRoundTrip(t *testing.T) {
+	a := New(Config{})
+	reqs := []Request{alexReq(8), rnnReq(8)}
+	originals := make([]*Result, len(reqs))
+	for i, req := range reqs {
+		res, err := a.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		originals[i] = res
+	}
+
+	var buf bytes.Buffer
+	if err := a.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	b := New(Config{})
+	nres, nclasses, err := b.ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nres != len(reqs) || nclasses == 0 {
+		t.Fatalf("restored %d results, %d classes; want %d results and > 0 classes", nres, nclasses, len(reqs))
+	}
+	if st := b.Stats(); st.RestoredResults != int64(len(reqs)) {
+		t.Fatalf("RestoredResults = %d, want %d", st.RestoredResults, len(reqs))
+	}
+
+	for i, req := range reqs {
+		res, err := b.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Cached {
+			t.Fatalf("request %d after restore: not a cache hit", i)
+		}
+		// Byte-identical modulo the serve-time fields a cache hit always
+		// rewrites (Cached, SearchTime, ModelTime).
+		got, want := *res, *originals[i]
+		got.Cached, got.SearchTime, got.ModelTime = false, 0, 0
+		want.Cached, want.SearchTime, want.ModelTime = false, 0, 0
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("request %d: restored result differs from original:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if st := b.Stats(); st.Solves != 0 || st.ModelBuilds != 0 {
+		t.Fatalf("restored planner ran new work: %+v", st)
+	}
+
+	// A request with the same model identity but a different solve
+	// fingerprint forces a model build in b — every class must resolve from
+	// the restored store.
+	beam := alexReq(8)
+	beam.Opts.Method = "beam"
+	beam.Opts.BeamWidth = 8
+	if _, err := b.Solve(context.Background(), beam); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if st.ClassStoreMisses != 0 || st.ClassStoreHits == 0 {
+		t.Fatalf("restored class store missed: hits=%d misses=%d", st.ClassStoreHits, st.ClassStoreMisses)
+	}
+}
+
+// TestSnapshotPreservesRecency: restore reproduces LRU order, so the first
+// post-restore eviction drops the entry that was least recent at save time.
+func TestSnapshotPreservesRecency(t *testing.T) {
+	a := New(Config{ResultCacheSize: 2})
+	reqA, reqB := alexReq(8), alexReq(16)
+	for _, req := range []Request{reqA, reqB, reqA} { // touch A last
+		if _, err := a.Solve(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := a.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := New(Config{ResultCacheSize: 2})
+	if _, _, err := b.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A third unique request evicts the least recently used entry: B.
+	if _, err := b.Solve(context.Background(), rnnReq(8)); err != nil {
+		t.Fatal(err)
+	}
+	resA, err := b.Solve(context.Background(), reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resA.Cached {
+		t.Fatal("most-recent entry A was evicted; snapshot lost recency order")
+	}
+	resB, err := b.Solve(context.Background(), reqB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Cached {
+		t.Fatal("least-recent entry B survived; snapshot lost recency order")
+	}
+}
+
+// TestSnapshotStaleAndCorruptDiscarded: wrong-format, truncated, and
+// bit-flipped snapshots are rejected with ErrSnapshotStale before touching
+// any cache; a missing file is a clean cold start.
+func TestSnapshotStaleAndCorruptDiscarded(t *testing.T) {
+	a := New(Config{})
+	if _, err := a.Solve(context.Background(), alexReq(8)); err != nil {
+		t.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := a.WriteSnapshot(&valid); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cases := map[string][]byte{
+		"garbage":   []byte("not a snapshot at all"),
+		"truncated": valid.Bytes()[:valid.Len()/2],
+	}
+	// Bit-flip deep in the payload: the envelope decodes but the checksum
+	// must catch it.
+	flipped := append([]byte(nil), valid.Bytes()...)
+	flipped[len(flipped)-10] ^= 0xff
+	cases["bitflip"] = flipped
+	// A future format version is stale, not an error to decode.
+	var wrongFormat bytes.Buffer
+	if err := gob.NewEncoder(&wrongFormat).Encode(&snapshotEnvelope{Format: "pase.planner.snapshot/v999"}); err != nil {
+		t.Fatal(err)
+	}
+	cases["wrongformat"] = wrongFormat.Bytes()
+	// A fingerprint-scheme mismatch (stale build) is also stale.
+	var wrongFP bytes.Buffer
+	if err := gob.NewEncoder(&wrongFP).Encode(&snapshotEnvelope{Format: snapshotFormat}); err != nil {
+		t.Fatal(err)
+	}
+	cases["wrongfp"] = wrongFP.Bytes()
+
+	for name, data := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		p := New(Config{})
+		nres, nclasses, err := p.LoadSnapshot(path)
+		if !errors.Is(err, ErrSnapshotStale) {
+			t.Errorf("%s: want ErrSnapshotStale, got %v", name, err)
+		}
+		if nres != 0 || nclasses != 0 {
+			t.Errorf("%s: rejected snapshot restored %d results, %d classes", name, nres, nclasses)
+		}
+		if st := p.Stats(); st.RestoredResults != 0 {
+			t.Errorf("%s: RestoredResults = %d after rejection", name, st.RestoredResults)
+		}
+	}
+
+	p := New(Config{})
+	if nres, nclasses, err := p.LoadSnapshot(filepath.Join(dir, "missing")); err != nil || nres != 0 || nclasses != 0 {
+		t.Fatalf("missing snapshot: want clean cold start, got (%d, %d, %v)", nres, nclasses, err)
+	}
+}
+
+// TestSaveSnapshotAtomicAndReloadable: SaveSnapshot publishes a loadable file
+// and overwrites a previous snapshot in place without leaving temp litter.
+func TestSaveSnapshotAtomicAndReloadable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pased.snapshot")
+
+	a := New(Config{})
+	if _, err := a.Solve(context.Background(), alexReq(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	// Second checkpoint with more state overwrites the first.
+	if _, err := a.Solve(context.Background(), rnnReq(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "pased.snapshot" {
+		t.Fatalf("snapshot dir not clean: %v", entries)
+	}
+
+	b := New(Config{})
+	nres, nclasses, err := b.LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nres != 2 || nclasses == 0 {
+		t.Fatalf("loaded (%d results, %d classes), want 2 results and > 0 classes", nres, nclasses)
+	}
+	res, err := b.Solve(context.Background(), rnnReq(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("warm restart did not serve a cache hit")
+	}
+}

@@ -69,9 +69,31 @@
 //	items := pl.SolveBatch(ctx, []pase.SolveRequest{{G: g1, Spec: spec}, {G: g2, Spec: spec}})
 //	fmt.Println(pl.Stats()) // solves, hits, dedup waits, cancellations
 //
+// A long-lived planner can also run with admission control and graceful
+// degradation — the robustness layer behind cmd/pased. MaxInFlight bounds
+// concurrent underlying solves, MaxQueue bounds the wait behind them
+// (arrivals beyond it fail fast with ErrShed), Options.Priority orders
+// waiting requests (higher first; not part of cache identity), and
+// DegradeBeamWidth > 0 lets an exact "dp" request that cannot run — table
+// budget exceeded, or the queue deep at arrival — come back as a valid
+// bounded-width beam strategy instead of an error:
+//
+//	pl = pase.NewPlanner(pase.PlannerConfig{
+//		MaxInFlight: 4, MaxQueue: 64, DegradeBeamWidth: 16,
+//	})
+//	res, err = pl.Solve(ctx, pase.SolveRequest{
+//		G: g, Spec: spec, Opts: pase.Options{Priority: 10},
+//	})
+//	// errors.Is(err, pase.ErrShed): shed under overload — retry later.
+//	// res.Degraded: a degraded beam result; res.DegradeReason says why and
+//	// res.Gap still bounds the true optimum in [res.Cost/(1+res.Gap), res.Cost].
+//
 // The same planner powers cmd/pased, an HTTP JSON daemon serving
-// POST /v1/solve, POST /v1/batch, POST /v1/compare, GET /v1/healthz, and
-// GET /v1/stats, with every solve tied to its request's context.
+// POST /v1/solve, POST /v1/batch, POST /v1/compare, GET /v1/healthz,
+// GET /v1/readyz, and GET /v1/stats, with every solve tied to its request's
+// context, structured error codes (shed → 429, oom → 503, timeout → 504),
+// and optional warm-restart snapshots (Planner.SaveSnapshot/LoadSnapshot)
+// that persist the result cache and class store across restarts.
 //
 // Find, FindWithModel, and the one-off baseline helpers from earlier
 // releases remain as thin deprecated wrappers over this request path.
@@ -99,6 +121,7 @@ import (
 	"pase/internal/memory"
 	"pase/internal/models"
 	"pase/internal/planner"
+	"pase/internal/pressure"
 	"pase/internal/seq"
 	"pase/internal/sim"
 	"pase/internal/strategies"
@@ -274,6 +297,33 @@ func DefaultPlanner() *Planner { return defaultPlanner }
 // ErrOOM is returned when the DP tables exceed the memory budget (the
 // paper's Table I "OOM" outcome for breadth-first ordering).
 var ErrOOM = core.ErrOOM
+
+// ErrShed is returned by a planner running admission control
+// (PlannerConfig.MaxInFlight > 0) when a request arrives to a full waiting
+// queue: it was rejected immediately — load shedding, never silent
+// blocking — and should be retried later. Daemons map it to HTTP 429.
+var ErrShed = planner.ErrShed
+
+// ErrSolvePanic is returned when a solve or model build panicked: the
+// planner recovers the panic, fails only that request, and keeps serving.
+var ErrSolvePanic = planner.ErrSolvePanic
+
+// ErrSnapshotStale is returned by Planner.LoadSnapshot when a warm-restart
+// snapshot exists but is unusable (incompatible build or corrupt file); the
+// caller should log it and start cold.
+var ErrSnapshotStale = planner.ErrSnapshotStale
+
+// FaultPlan injects deterministic failures (ErrOOM, panics, latency) at
+// named pipeline sites, for exercising overload and degradation behavior in
+// tests and staging. Hand one to PlannerConfig.FaultPlan; nil injects
+// nothing.
+type FaultPlan = pressure.FaultPlan
+
+// ParseFaultPlan parses a comma-separated fault-injection spec of
+// site:kind[:arg] entries (sites solve, dp, model; kinds oom, panic,
+// latency) — the format behind pased's debug-only -fault-plan flag. An
+// empty spec returns (nil, nil).
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return pressure.ParseFaultPlan(spec) }
 
 // NewModel binds a graph to a machine under an enumeration policy, building
 // all layer and edge cost tables eagerly across a worker pool — one build
