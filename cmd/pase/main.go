@@ -36,15 +36,27 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "compare" {
-		if err := compareMain(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "pase:", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		var sub func([]string) error
+		switch os.Args[1] {
+		case "compare":
+			sub = compareMain
+		case "lint":
+			sub = lintMain
+		case "export-spec":
+			sub = exportSpecMain
 		}
-		return
+		if sub != nil {
+			if err := sub(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "pase:", err)
+				os.Exit(1)
+			}
+			return
+		}
 	}
 	var (
 		model    = flag.String("model", "alexnet", "benchmark model: alexnet, inceptionv3, rnnlm, transformer, or gptdeep[:layers]")
+		specPath = flag.String("spec", "", "solve a pase-graph/v1 spec file instead of a registry -model (mutually exclusive with -model/-gpus/-machine)")
 		gpus     = flag.Int("gpus", 32, "device count p")
 		mach     = flag.String("machine", "1080ti", "machine profile: 1080ti, 2080ti, or uniform:<devices-per-node>:<flops>:<intra-bw>:<inter-bw>")
 		method   = flag.String("method", "dp", "solve method: dp, beam, mcmc, dataparallel, or expert:<family>")
@@ -56,10 +68,32 @@ func main() {
 		priority = flag.Int("priority", 0, "admission priority (higher solves first when a planner gate is saturated)")
 	)
 	flag.Parse()
-	if err := run(*model, *gpus, *mach, *method, *width, *gap, *timeout, *compare, *export, *priority); err != nil {
+	var err error
+	if *specPath != "" {
+		err = conflictingModelFlags()
+		if err == nil {
+			err = runSpec(*specPath, *method, *width, *gap, *timeout, *export, *priority)
+		}
+	} else {
+		err = run(*model, *gpus, *mach, *method, *width, *gap, *timeout, *compare, *export, *priority)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pase:", err)
 		os.Exit(1)
 	}
+}
+
+// conflictingModelFlags rejects -spec combined with registry-selection flags:
+// the spec file carries its own model, machine, and device count.
+func conflictingModelFlags() error {
+	var conflict error
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "model", "gpus", "machine":
+			conflict = fmt.Errorf("-spec and -%s are mutually exclusive (the spec file carries the model, machine, and device count)", f.Name)
+		}
+	})
+	return conflict
 }
 
 // withDeadline derives the run's context from -timeout.
@@ -97,7 +131,27 @@ func run(model string, gpus int, mach, method string, width int, gap float64, ti
 		return err
 	}
 
-	fmt.Printf("%s on %d × %s (batch %d, method %s)\n", bm.Name, gpus, spec.Name, bm.Batch, res.Method)
+	if err := reportSolve(pl, bm.Name, g, spec, bm.Batch, gpus, res, exportPath); err != nil {
+		return err
+	}
+
+	if !compare {
+		return nil
+	}
+	fmt.Println()
+	return renderCompare(ctx, pl, bm, g, spec, gpus, width)
+}
+
+// reportSolve prints the human-readable solve report — summary, Table II
+// strategy, simulated step, memory footprint — and writes the optional
+// strategy export. It is shared by the registry (-model) and declarative
+// (-spec) paths.
+func reportSolve(pl *pase.Planner, name string, g *pase.Graph, spec pase.Machine, batch int64, gpus int, res *pase.Result, exportPath string) error {
+	if batch > 0 {
+		fmt.Printf("%s on %d × %s (batch %d, method %s)\n", name, gpus, spec.Name, batch, res.Method)
+	} else {
+		fmt.Printf("%s on %d × %s (method %s)\n", name, gpus, spec.Name, res.Method)
+	}
 	fmt.Printf("search time: %s (model %s)   cost: %.4g s/step   M=%d   states=%d\n",
 		report.Duration(res.SearchTime), report.Duration(res.ModelTime), res.Cost, res.MaxDepSize, res.States)
 	fmt.Printf("config space: K-effective=%d (%d configs pruned)\n", res.KEffective, res.PrunedConfigs)
@@ -132,21 +186,25 @@ func run(model string, gpus int, mach, method string, width int, gap float64, ti
 		return err
 	}
 
-	step, err := pase.Simulate(g, res.Strategy, spec, bm.Batch)
-	if err != nil {
-		return err
-	}
 	mem, err := pase.MemoryFootprint(g, res.Strategy)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nsimulated step: %.3f ms  (%.0f samples/s)\n",
-		step.StepSeconds*1e3, step.Throughput)
+	if batch > 0 {
+		step, err := pase.Simulate(g, res.Strategy, spec, batch)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nsimulated step: %.3f ms  (%.0f samples/s)\n",
+			step.StepSeconds*1e3, step.Throughput)
+	} else {
+		fmt.Println()
+	}
 	fmt.Printf("per-device memory: %.1f MB (activations %.1f, params %.1f, comm %.1f)\n",
 		mem.Total()/1e6, mem.Activations/1e6, mem.Parameters/1e6, mem.CommBuffers/1e6)
 
 	if exportPath != "" {
-		doc, err := pase.ExportStrategy(bm.Name, g, res.Strategy, gpus, res.Cost)
+		doc, err := pase.ExportStrategy(name, g, res.Strategy, gpus, res.Cost)
 		if err != nil {
 			return err
 		}
@@ -176,12 +234,7 @@ func run(model string, gpus int, mach, method string, width int, gap float64, ti
 		}
 		fmt.Printf("strategy written to %s\n", exportPath)
 	}
-
-	if !compare {
-		return nil
-	}
-	fmt.Println()
-	return renderCompare(ctx, pl, bm, g, spec, gpus, width)
+	return nil
 }
 
 // compareMain is the compare subcommand: all methods on one model, printed

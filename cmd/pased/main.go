@@ -42,6 +42,8 @@
 //	    -d '{"model":"gptdeep:12","gpus":32,"options":{"method":"beam","beam_width":32}}'
 //	curl -s -X POST localhost:8555/v1/batch \
 //	    -d '{"requests":[{"model":"alexnet","gpus":8},{"model":"rnnlm","gpus":16}]}'
+//	curl -s -X POST localhost:8555/v1/solve \
+//	    -d "{\"spec\": $(cat examples/specs/alexnet.json)}"
 //	curl -s -X POST localhost:8555/v1/compare \
 //	    -d '{"model":"alexnet","gpus":8}'
 //	curl -s localhost:8555/v1/stats
@@ -50,8 +52,16 @@
 //
 //	POST /v1/solve   — solve one request; returns the strategy as the
 //	                   internal/export interchange document plus timing,
-//	                   cache, method, and fingerprint metadata.
-//	POST /v1/batch   — solve many requests concurrently; per-item errors.
+//	                   cache, method, and fingerprint metadata. The request
+//	                   names a registry "model" or carries an inline "spec"
+//	                   (a declarative pase-graph/v1 document with its own
+//	                   machine and device count); spec requests normalize to
+//	                   the same canonical fingerprints as their programmatic
+//	                   twins, so they share cache entries, and invalid specs
+//	                   fail as bad_request with a "details" array of
+//	                   path-addressed {path, msg} diagnostics.
+//	POST /v1/batch   — solve many requests concurrently; per-item errors
+//	                   (inline specs accepted per item).
 //	POST /v1/compare — run every solve method (or an explicit "methods"
 //	                   list) on one model and report each method's cost,
 //	                   simulated step, and speedup over data parallelism —
@@ -88,11 +98,18 @@ import (
 	"pase"
 )
 
-// solveRequest is the wire form of one solve request.
+// solveRequest is the wire form of one solve request. Exactly one of Model
+// (with Batch/GPUs/Machine) or Spec names the graph to solve.
 type solveRequest struct {
 	// Model is a benchmark model name (alexnet, inceptionv3, rnnlm,
 	// transformer).
 	Model string `json:"model"`
+	// Spec is an inline pase-graph/v1 document — the declarative alternative
+	// to naming a registry Model. The spec carries its own machine and device
+	// count, so it is mutually exclusive with Model, Batch, GPUs, and
+	// Machine. Invalid specs fail as bad_request with a "details" array of
+	// path-addressed {path, msg} diagnostics.
+	Spec json.RawMessage `json:"spec,omitempty"`
 	// Batch overrides the model's paper mini-batch size when > 0.
 	Batch int64 `json:"batch,omitempty"`
 	// GPUs is the device count p.
@@ -195,6 +212,9 @@ type batchRequest struct {
 type batchEntry struct {
 	*solveResponse
 	Error string `json:"error,omitempty"`
+	// Details carries the path-addressed diagnostics when Error reports an
+	// invalid inline spec.
+	Details []pase.SpecDiagnostic `json:"details,omitempty"`
 }
 
 type batchResponse struct {
@@ -244,6 +264,11 @@ type server struct {
 	solveTimeout time.Duration
 	start        time.Time
 	served       atomic.Int64
+	// specSolves counts successfully served inline-spec solves (cache hits
+	// included); specErrors counts inline-spec requests rejected by the
+	// ingestion pipeline or the wire bounds.
+	specSolves atomic.Int64
+	specErrors atomic.Int64
 	// notReady marks the boot window (snapshot restore in progress) and
 	// draining marks a begun SIGTERM drain; either makes /v1/readyz report
 	// 503 so load balancers route elsewhere while /v1/healthz stays 200.
@@ -328,6 +353,22 @@ func writeSolveError(w http.ResponseWriter, err error) {
 	writeError(w, status, code, err)
 }
 
+// writeBadRequest writes a 400 body; an invalid inline spec additionally
+// carries its path-addressed diagnostics as a structured "details" array, so
+// clients can surface every problem without parsing the message text.
+func writeBadRequest(w http.ResponseWriter, err error) {
+	var se *pase.SpecError
+	if errors.As(err, &se) {
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error":   err.Error(),
+			"code":    "bad_request",
+			"details": se.Diags,
+		})
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad_request", err)
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
@@ -353,6 +394,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"cached_models":  models,
 		"cached_results": results,
 		"requests":       s.served.Load(),
+		"spec_solves":    s.specSolves.Load(),
+		"spec_errors":    s.specErrors.Load(),
 		"uptime_ms":      time.Since(s.start).Milliseconds(),
 		"ready":          !s.notReady.Load() && !s.draining.Load(),
 		"draining":       s.draining.Load(),
@@ -385,53 +428,91 @@ func (s *server) toRequest(sr solveRequest) (pase.SolveRequest, pase.Benchmark, 
 		return pase.SolveRequest{}, pase.Benchmark{}, err
 	}
 	opts := pase.Options{Policy: bm.Policy(sr.GPUs), Priority: sr.Priority}
-	if o := sr.Options; o != nil {
-		// Bound the wire-supplied knobs: this is a shared daemon, and
-		// unchecked values reach the solver's goroutine spawns and DP memory
-		// budget directly. (Model-build memory has no budget knob — it is
-		// bounded by -max-gpus, which caps the configuration counts the
-		// eager TL/TX tables are sized by.)
-		if err := pase.ValidateMethod(o.Method); err != nil {
-			return pase.SolveRequest{}, pase.Benchmark{}, err
-		}
-		if o.Workers < 0 || o.Workers > maxWorkers {
-			return pase.SolveRequest{}, pase.Benchmark{}, fmt.Errorf("workers %d out of range [0, %d]", o.Workers, maxWorkers)
-		}
-		if o.MaxTableEntries < 0 || o.MaxTableEntries > maxTableEntriesCap {
-			return pase.SolveRequest{}, pase.Benchmark{}, fmt.Errorf("max_table_entries %d out of range [0, %d]", o.MaxTableEntries, int64(maxTableEntriesCap))
-		}
-		if o.MaxSplitDims < 0 {
-			return pase.SolveRequest{}, pase.Benchmark{}, fmt.Errorf("max_split_dims %d must be >= 0", o.MaxSplitDims)
-		}
-		if o.PruneEpsilon != nil {
-			if *o.PruneEpsilon < 0 || *o.PruneEpsilon > maxPruneEpsilon {
-				return pase.SolveRequest{}, pase.Benchmark{}, fmt.Errorf("prune_epsilon %g out of range [0, %g]", *o.PruneEpsilon, maxPruneEpsilon)
-			}
-			// An explicit wire zero means "exact, no matter the daemon
-			// default" — the planner's negative-epsilon opt-out.
-			opts.PruneEpsilon = *o.PruneEpsilon
-			if opts.PruneEpsilon == 0 {
-				opts.PruneEpsilon = -1
-			}
-		}
-		if o.MaxSplitDims > 0 || o.RequireFullDegree {
-			opts.Policy = pase.EnumPolicy{MaxSplitDims: o.MaxSplitDims, RequireFullDegree: o.RequireFullDegree}
-		}
-		if o.BeamWidth < 0 || o.BeamWidth > maxBeamWidth {
-			return pase.SolveRequest{}, pase.Benchmark{}, fmt.Errorf("beam_width %d out of range [0, %d]", o.BeamWidth, maxBeamWidth)
-		}
-		if o.GapTarget > maxGapTarget {
-			return pase.SolveRequest{}, pase.Benchmark{}, fmt.Errorf("gap_target %g out of range (max %g)", o.GapTarget, float64(maxGapTarget))
-		}
-		opts.Method = o.Method
-		opts.MCMC.Seed = o.MCMCSeed
-		opts.MaxTableEntries = o.MaxTableEntries
-		opts.BreadthFirst = o.BreadthFirst
-		opts.Workers = o.Workers
-		opts.BeamWidth = o.BeamWidth
-		opts.GapTarget = o.GapTarget
+	if err := applyOptions(&opts, sr.Options); err != nil {
+		return pase.SolveRequest{}, pase.Benchmark{}, err
 	}
 	return pase.SolveRequest{G: bm.Build(batch), Spec: spec, Opts: opts}, bm, nil
+}
+
+// applyOptions validates the wire options and lowers them onto opts — shared
+// by the registry (model) and declarative (spec) request paths. Bound the
+// wire-supplied knobs: this is a shared daemon, and unchecked values reach
+// the solver's goroutine spawns and DP memory budget directly. (Model-build
+// memory has no budget knob — it is bounded by -max-gpus, which caps the
+// configuration counts the eager TL/TX tables are sized by.)
+func applyOptions(opts *pase.Options, o *solveOptions) error {
+	if o == nil {
+		return nil
+	}
+	if err := pase.ValidateMethod(o.Method); err != nil {
+		return err
+	}
+	if o.Workers < 0 || o.Workers > maxWorkers {
+		return fmt.Errorf("workers %d out of range [0, %d]", o.Workers, maxWorkers)
+	}
+	if o.MaxTableEntries < 0 || o.MaxTableEntries > maxTableEntriesCap {
+		return fmt.Errorf("max_table_entries %d out of range [0, %d]", o.MaxTableEntries, int64(maxTableEntriesCap))
+	}
+	if o.MaxSplitDims < 0 {
+		return fmt.Errorf("max_split_dims %d must be >= 0", o.MaxSplitDims)
+	}
+	if o.PruneEpsilon != nil {
+		if *o.PruneEpsilon < 0 || *o.PruneEpsilon > maxPruneEpsilon {
+			return fmt.Errorf("prune_epsilon %g out of range [0, %g]", *o.PruneEpsilon, maxPruneEpsilon)
+		}
+		// An explicit wire zero means "exact, no matter the daemon
+		// default" — the planner's negative-epsilon opt-out.
+		opts.PruneEpsilon = *o.PruneEpsilon
+		if opts.PruneEpsilon == 0 {
+			opts.PruneEpsilon = -1
+		}
+	}
+	if o.MaxSplitDims > 0 || o.RequireFullDegree {
+		opts.Policy = pase.EnumPolicy{MaxSplitDims: o.MaxSplitDims, RequireFullDegree: o.RequireFullDegree}
+	}
+	if o.BeamWidth < 0 || o.BeamWidth > maxBeamWidth {
+		return fmt.Errorf("beam_width %d out of range [0, %d]", o.BeamWidth, maxBeamWidth)
+	}
+	if o.GapTarget > maxGapTarget {
+		return fmt.Errorf("gap_target %g out of range (max %g)", o.GapTarget, float64(maxGapTarget))
+	}
+	opts.Method = o.Method
+	opts.MCMC.Seed = o.MCMCSeed
+	opts.MaxTableEntries = o.MaxTableEntries
+	opts.BreadthFirst = o.BreadthFirst
+	opts.Workers = o.Workers
+	opts.BeamWidth = o.BeamWidth
+	opts.GapTarget = o.GapTarget
+	return nil
+}
+
+// toSpecRequest lowers an inline-spec wire request through the declarative
+// ingestion pipeline onto the planner's Request, returning the display name
+// for the export document. The spec document carries its own model, machine,
+// and device count, so the registry-selection fields must be absent.
+func (s *server) toSpecRequest(sr solveRequest) (pase.SolveRequest, string, error) {
+	if sr.Model != "" || sr.Batch != 0 || sr.GPUs != 0 || sr.Machine != "" {
+		return pase.SolveRequest{}, "", errors.New(`"spec" is mutually exclusive with "model", "batch", "gpus", and "machine" (the spec carries its own graph, machine, and device count)`)
+	}
+	if sr.Priority < -maxPriority || sr.Priority > maxPriority {
+		return pase.SolveRequest{}, "", fmt.Errorf("priority %d out of range [%d, %d]", sr.Priority, -maxPriority, maxPriority)
+	}
+	ir, err := pase.LoadSpec(sr.Spec)
+	if err != nil {
+		return pase.SolveRequest{}, "", err
+	}
+	if ir.Machine.Devices > s.maxGPUs {
+		return pase.SolveRequest{}, "", fmt.Errorf("spec machine has %d gpus, max %d", ir.Machine.Devices, s.maxGPUs)
+	}
+	opts := pase.Options{Policy: ir.Policy, Priority: sr.Priority}
+	if err := applyOptions(&opts, sr.Options); err != nil {
+		return pase.SolveRequest{}, "", err
+	}
+	name := ir.Name
+	if name == "" {
+		name = "spec"
+	}
+	return ir.Request(opts), name, nil
 }
 
 // toResponse lifts a planner result into the wire form.
@@ -518,9 +599,24 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decode request: %w", err))
 		return
 	}
-	req, bm, err := s.toRequest(sr)
+	isSpec := len(sr.Spec) > 0
+	var (
+		req  pase.SolveRequest
+		name string
+		err  error
+	)
+	if isSpec {
+		req, name, err = s.toSpecRequest(sr)
+	} else {
+		var bm pase.Benchmark
+		req, bm, err = s.toRequest(sr)
+		name = bm.Name
+	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err)
+		if isSpec {
+			s.specErrors.Add(1)
+		}
+		writeBadRequest(w, err)
 		return
 	}
 	ctx, cancel := s.solveCtx(r)
@@ -530,7 +626,10 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeSolveError(w, err)
 		return
 	}
-	resp, err := toResponse(req, bm.Name, res)
+	if isSpec {
+		s.specSolves.Add(1)
+	}
+	resp, err := toResponse(req, name, res)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "internal", err)
 		return
@@ -552,15 +651,36 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	entries := make([]batchEntry, len(br.Requests))
 	var reqs []pase.SolveRequest
 	var models []string
-	var idx []int // position of reqs[k] within entries
+	var specIdx []bool // reqs[k] came in as an inline spec
+	var idx []int      // position of reqs[k] within entries
 	for i, sr := range br.Requests {
-		req, bm, err := s.toRequest(sr)
+		var (
+			req  pase.SolveRequest
+			name string
+			err  error
+		)
+		isSpec := len(sr.Spec) > 0
+		if isSpec {
+			req, name, err = s.toSpecRequest(sr)
+		} else {
+			var bm pase.Benchmark
+			req, bm, err = s.toRequest(sr)
+			name = bm.Name
+		}
 		if err != nil {
+			if isSpec {
+				s.specErrors.Add(1)
+			}
 			entries[i].Error = err.Error()
+			var se *pase.SpecError
+			if errors.As(err, &se) {
+				entries[i].Details = se.Diags
+			}
 			continue
 		}
 		reqs = append(reqs, req)
-		models = append(models, bm.Name)
+		models = append(models, name)
+		specIdx = append(specIdx, isSpec)
 		idx = append(idx, i)
 	}
 	ctx, cancel := s.solveCtx(r)
@@ -570,6 +690,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if item.Err != nil {
 			entries[i].Error = item.Err.Error()
 			continue
+		}
+		if specIdx[k] {
+			s.specSolves.Add(1)
 		}
 		resp, err := toResponse(reqs[k], models[k], item.Result)
 		if err != nil {
@@ -586,6 +709,10 @@ func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	var cr compareRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&cr); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(cr.Spec) > 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", errors.New(`compare does not accept inline "spec" requests; name a registry "model"`))
 		return
 	}
 	if len(cr.Methods) > maxCompareMethods {

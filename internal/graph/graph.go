@@ -56,6 +56,29 @@ func (o OpType) String() string {
 	return fmt.Sprintf("op(%d)", int(o))
 }
 
+// ParseOp resolves an op-kind name as printed by OpType.String ("conv2d",
+// "fc", ...) back to its OpType — the inverse the declarative spec pipeline
+// lowers node kinds through.
+func ParseOp(name string) (OpType, bool) {
+	for op, s := range opNames {
+		if s == name {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+// OpNames returns every supported op-kind name in sorted order, for
+// diagnostics listing the valid kinds.
+func OpNames() []string {
+	out := make([]string, 0, len(opNames))
+	for _, s := range opNames {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // TensorRef describes how a node reads or writes a tensor: Map[t] is the
 // iteration-space dimension that indexes tensor dimension t. Iteration dims
 // absent from Map are, for an output, reduction dims (splitting them leaves

@@ -1,6 +1,7 @@
 package models
 
 import (
+	"strings"
 	"testing"
 
 	"pase/internal/graph"
@@ -155,5 +156,13 @@ func TestBenchmarksRegistry(t *testing.T) {
 	}
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("unknown model accepted")
+	} else {
+		// The not-found message must teach the caller what IS valid: every
+		// registry name plus the parameterized gptdeep pattern.
+		for _, want := range []string{"alexnet", "inceptionv3", "rnnlm", "transformer", "gptdeep:<layers>"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("ByName error %q does not mention %q", err, want)
+			}
+		}
 	}
 }

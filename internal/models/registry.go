@@ -2,6 +2,7 @@ package models
 
 import (
 	"fmt"
+	"strings"
 
 	"pase/internal/graph"
 	"pase/internal/itspace"
@@ -80,7 +81,12 @@ func ByName(name string) (Benchmark, error) {
 	if bm, ok, err := parseGPTDeep(name); ok {
 		return bm, err
 	}
-	return Benchmark{}, fmt.Errorf("models: unknown benchmark %q", name)
+	var names []string
+	for _, bm := range Benchmarks() {
+		names = append(names, strings.ToLower(bm.Name))
+	}
+	return Benchmark{}, fmt.Errorf("models: unknown benchmark %q (want %s, or gptdeep:<layers>)",
+		name, strings.Join(names, ", "))
 }
 
 func equalFold(a, b string) bool {

@@ -1,0 +1,113 @@
+package spec
+
+import (
+	"fmt"
+
+	"pase/internal/graph"
+	"pase/internal/itspace"
+	"pase/internal/machine"
+)
+
+// FromGraph exports a programmatically built graph (a registry model, a
+// custom builder) to its pase-graph/v1 document form. The export pins every
+// node's id to its builder-assigned ID, so loading the document reproduces
+// the graph byte-for-byte in canonical encoding: the exported spec and the
+// original graph have identical fingerprints and therefore share planner
+// cache entries.
+//
+// machineSpec is a preset string machine.Parse accepts ("1080ti", "2080ti",
+// "uniform:..."); batch is display metadata recorded in the document.
+func FromGraph(name string, g *graph.Graph, machineSpec string, gpus int, pol itspace.EnumPolicy, batch int64) (*File, error) {
+	if gpus < 1 {
+		return nil, fmt.Errorf("spec: export needs gpus >= 1, got %d", gpus)
+	}
+	if _, err := machine.Parse(machineSpec, gpus); err != nil {
+		return nil, fmt.Errorf("spec: export machine: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("spec: graph does not validate: %w", err)
+	}
+
+	f := &File{
+		Version: Version,
+		Name:    name,
+		Batch:   batch,
+		Machine: Machine{Preset: machineSpec, GPUs: gpus},
+	}
+	if pol != (itspace.EnumPolicy{}) {
+		f.Policy = &Policy{MaxSplitDims: pol.MaxSplitDims, RequireFullDegree: pol.RequireFullDegree}
+	}
+
+	seen := map[string]int{}
+	f.Nodes = make([]Node, 0, g.Len())
+	for _, gn := range g.Nodes {
+		if gn.Name == "" {
+			return nil, fmt.Errorf("spec: node %d has no name; the wire format references nodes by name", gn.ID)
+		}
+		if prev, dup := seen[gn.Name]; dup {
+			return nil, fmt.Errorf("spec: nodes %d and %d share the name %q; the wire format needs unique names", prev, gn.ID, gn.Name)
+		}
+		seen[gn.Name] = gn.ID
+		opName := gn.Op.String()
+		if _, ok := graph.ParseOp(opName); !ok {
+			return nil, fmt.Errorf("spec: node %q has op %v with no wire spelling", gn.Name, gn.Op)
+		}
+		// Parameter-ness is positional on the wire (refs under "params" are
+		// parameters), so the flags must follow the positional convention.
+		for ri, r := range gn.Inputs {
+			if r.Param {
+				return nil, fmt.Errorf("spec: node %q input %d is marked Param; inputs cannot be parameters on the wire", gn.Name, ri)
+			}
+		}
+		for ri, r := range gn.Params {
+			if !r.Param {
+				return nil, fmt.Errorf("spec: node %q param %d is not marked Param; params are parameters on the wire", gn.Name, ri)
+			}
+		}
+		if gn.Output.Param {
+			return nil, fmt.Errorf("spec: node %q output is marked Param; outputs cannot be parameters on the wire", gn.Name)
+		}
+
+		id := gn.ID
+		nd := Node{
+			ID:            &id,
+			Name:          gn.Name,
+			Op:            opName,
+			FlopsPerPoint: gn.FlopsPerPoint,
+			Halo:          gn.Halo,
+			NormDims:      gn.NormDims,
+		}
+		nd.Dims = make([]Dim, len(gn.Space))
+		for di, d := range gn.Space {
+			nd.Dims[di] = Dim{Name: d.Name, Size: d.Size}
+		}
+		if len(gn.Inputs) > 0 {
+			nd.Inputs = make([]Ref, len(gn.Inputs))
+			for ri, r := range gn.Inputs {
+				nd.Inputs[ri] = exportRef(r)
+			}
+		}
+		if len(gn.Params) > 0 {
+			nd.Params = make([]Ref, len(gn.Params))
+			for ri, r := range gn.Params {
+				nd.Params[ri] = exportRef(r)
+			}
+		}
+		out := exportRef(gn.Output)
+		nd.Output = &out
+		f.Nodes = append(f.Nodes, nd)
+	}
+
+	// Emit each consumer's in-edges in slot order — the same order Normalize
+	// wires them back in.
+	for v := range g.Nodes {
+		for slot, u := range g.In(v) {
+			f.Edges = append(f.Edges, Edge{From: g.Nodes[u].Name, To: g.Nodes[v].Name, Slot: slot})
+		}
+	}
+	return f, nil
+}
+
+func exportRef(r graph.TensorRef) Ref {
+	return Ref{Map: r.Map, Offset: r.Offset, Size: r.Size, Scale: r.Scale}
+}

@@ -1,0 +1,48 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse asserts the pipeline's total-function contract on arbitrary
+// bytes: Load never panics, and either returns diagnostics or a valid,
+// deterministically fingerprinted IR. The corpus is seeded from the golden
+// example specs plus small adversarial documents.
+func FuzzParse(f *testing.F) {
+	matches, _ := filepath.Glob(filepath.Join("..", "..", "examples", "specs", "*.json"))
+	for _, m := range matches {
+		if data, err := os.ReadFile(m); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(diamondDoc))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version": "pase-graph/v1", "machine": {"gpus": 1}, "nodes": []}`))
+	f.Add([]byte(`{"version": "pase-graph/v1", "machine": {"gpus": 1, "peak_flops": "1TF"}, "nodes": [
+		{"id": 0, "name": "a", "op": "generic", "dims": [{"name": "n", "size": 1e99}], "output": {"map": [0]}}]}`))
+	f.Add([]byte(`[[[[`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ir, err := Load(data)
+		if err != nil {
+			if se, ok := err.(*Error); !ok || len(se.Diags) == 0 {
+				t.Fatalf("non-diagnostic error %T: %v", err, err)
+			}
+			return
+		}
+		if ir == nil || ir.G == nil {
+			t.Fatal("nil IR without error")
+		}
+		if err := ir.G.Validate(); err != nil {
+			t.Fatalf("accepted spec lowers to invalid graph: %v", err)
+		}
+		again, err := Load(data)
+		if err != nil {
+			t.Fatalf("second Load of accepted input failed: %v", err)
+		}
+		if again.ModelFingerprint() != ir.ModelFingerprint() {
+			t.Fatal("Load is not deterministic")
+		}
+	})
+}

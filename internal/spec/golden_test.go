@@ -1,0 +1,195 @@
+package spec
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pase/internal/canon"
+	"pase/internal/machine"
+	"pase/internal/models"
+	"pase/internal/planner"
+)
+
+// goldens maps each golden example spec to its registry twin. The goldens
+// are exported at gpus=8 on the 1080ti preset (matching pase export-spec
+// defaults used to generate them), so the twin fingerprint is computed under
+// the same machine and policy.
+var goldens = map[string]string{
+	"alexnet.json":     "alexnet",
+	"inceptionv3.json": "inceptionv3",
+	"rnnlm.json":       "rnnlm",
+	"transformer.json": "transformer",
+	"gptdeep3.json":    "gptdeep:3",
+}
+
+const goldenGPUs = 8
+
+func goldenPath(t *testing.T, file string) string {
+	t.Helper()
+	p := filepath.Join("..", "..", "examples", "specs", file)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("golden %s missing: %v (regenerate with: pase export-spec -model <m> -gpus 8 -out %s)", file, err, p)
+	}
+	return p
+}
+
+// twinFingerprint computes the model fingerprint a registry request for the
+// benchmark would use.
+func twinFingerprint(t *testing.T, model string) canon.Fingerprint {
+	t.Helper()
+	bm, err := models.ByName(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := machine.Parse("1080ti", goldenGPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, _ := planner.Fingerprints(planner.Request{
+		G:    bm.Build(bm.Batch),
+		Spec: spec,
+		Opts: planner.Options{Policy: bm.Policy(goldenGPUs)},
+	})
+	return fp
+}
+
+// TestGoldensMatchRegistryTwins is the tentpole acceptance check: every
+// golden example spec normalizes to the exact model fingerprint of its
+// registry twin.
+func TestGoldensMatchRegistryTwins(t *testing.T) {
+	for file, model := range goldens {
+		t.Run(file, func(t *testing.T) {
+			data, err := os.ReadFile(goldenPath(t, file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ir, err := Load(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := ir.ModelFingerprint(), twinFingerprint(t, model); got != want {
+				t.Errorf("spec fingerprint %s != registry twin %s", got, want)
+			}
+		})
+	}
+}
+
+// permute returns the document with its nodes array, edges array, and (via
+// re-marshalling through Go maps, which sort keys) JSON key order permuted.
+func permute(t *testing.T, data []byte, seed int64) []byte {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, key := range []string{"nodes", "edges"} {
+		arr, _ := doc[key].([]any)
+		rng.Shuffle(len(arr), func(i, j int) { arr[i], arr[j] = arr[j], arr[i] })
+	}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestPermutationDeterminism: randomly permuting node order, edge order, and
+// JSON key order of each golden leaves the normalized fingerprint
+// byte-identical.
+func TestPermutationDeterminism(t *testing.T) {
+	for file := range goldens {
+		t.Run(file, func(t *testing.T) {
+			data, err := os.ReadFile(goldenPath(t, file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := Load(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ref.ModelFingerprint()
+			for seed := int64(1); seed <= 5; seed++ {
+				ir, err := Load(permute(t, data, seed))
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if got := ir.ModelFingerprint(); got != want {
+					t.Errorf("seed %d: permuted fingerprint %s != %s", seed, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestIDStrippedPathGraph: alexnet is a path graph, whose topological order
+// is unique — deleting the explicit ids must reproduce the same canonical
+// order and fingerprint via the Kahn numbering.
+func TestIDStrippedPathGraph(t *testing.T) {
+	data, err := os.ReadFile(goldenPath(t, "alexnet.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range doc["nodes"].([]any) {
+		delete(n.(map[string]any), "id")
+	}
+	stripped, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := Load(stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ir.ModelFingerprint(), twinFingerprint(t, "alexnet"); got != want {
+		t.Errorf("id-stripped fingerprint %s != %s", got, want)
+	}
+}
+
+// TestPermutedSpecHitsPlannerCache: solving a permuted copy of a golden spec
+// is served from the planner cache entry the original's solve populated —
+// the end-to-end payoff of canonical normalization.
+func TestPermutedSpecHitsPlannerCache(t *testing.T) {
+	data, err := os.ReadFile(goldenPath(t, "alexnet.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := Load(permute(t, data, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := planner.New(planner.Config{})
+	ctx := context.Background()
+	first, err := pl.Solve(ctx, orig.Request(planner.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first solve unexpectedly cached")
+	}
+	second, err := pl.Solve(ctx, perm.Request(planner.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("permuted spec solve missed the planner cache")
+	}
+	if second.Fingerprint != first.Fingerprint {
+		t.Errorf("fingerprints differ: %s vs %s", second.Fingerprint, first.Fingerprint)
+	}
+	if second.Cost != first.Cost {
+		t.Errorf("costs differ: %v vs %v", second.Cost, first.Cost)
+	}
+}

@@ -1,0 +1,477 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Parse strictly decodes a pase-graph/v1 document. Structural problems —
+// invalid JSON, unknown fields, wrong types, malformed numbers — are
+// collected as path-addressed diagnostics across the whole document and
+// returned together as an *Error; a nil error means the document matched the
+// schema exactly (semantic validation is Normalize's job).
+func Parse(data []byte) (*File, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var root any
+	if err := dec.Decode(&root); err != nil {
+		return nil, &Error{Diags: []Diagnostic{{Path: "$", Msg: "invalid JSON: " + err.Error()}}}
+	}
+	if dec.More() {
+		return nil, &Error{Diags: []Diagnostic{{Path: "$", Msg: "trailing data after the document"}}}
+	}
+	p := &parser{}
+	f := p.file(root)
+	if len(p.diags) > 0 {
+		return nil, &Error{Diags: p.diags}
+	}
+	return f, nil
+}
+
+// parser walks the generically-decoded document, accumulating diagnostics
+// instead of stopping at the first problem. Every accessor is total: on a
+// type or value error it records a diagnostic and returns a zero value, so
+// one pass reports everything.
+type parser struct {
+	diags []Diagnostic
+}
+
+func (p *parser) errf(path, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Path: path, Msg: fmt.Sprintf(format, args...)})
+}
+
+// jsonType names a decoded value's JSON type for error messages.
+func jsonType(v any) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "a boolean"
+	case json.Number:
+		return "a number"
+	case string:
+		return "a string"
+	case []any:
+		return "an array"
+	case map[string]any:
+		return "an object"
+	}
+	return "an unsupported value"
+}
+
+func child(path, field string) string {
+	if path == "$" {
+		return field
+	}
+	return path + "." + field
+}
+
+func elem(path string, i int) string {
+	return fmt.Sprintf("%s[%d]", path, i)
+}
+
+// obj asserts v is an object and reports every unknown key (sorted, so
+// diagnostics are deterministic). A nil return means v was not an object.
+func (p *parser) obj(path string, v any, known ...string) map[string]any {
+	m, ok := v.(map[string]any)
+	if !ok {
+		p.errf(path, "must be an object, got %s", jsonType(v))
+		return nil
+	}
+	var unknown []string
+	for k := range m {
+		found := false
+		for _, kn := range known {
+			if k == kn {
+				found = true
+				break
+			}
+		}
+		if !found {
+			unknown = append(unknown, k)
+		}
+	}
+	sort.Strings(unknown)
+	for _, k := range unknown {
+		p.errf(child(path, k), "unknown field (known fields: %s)", strings.Join(known, ", "))
+	}
+	return m
+}
+
+func (p *parser) arr(path string, v any) ([]any, bool) {
+	a, ok := v.([]any)
+	if !ok {
+		p.errf(path, "must be an array, got %s", jsonType(v))
+		return nil, false
+	}
+	return a, true
+}
+
+func (p *parser) str(path string, v any) (string, bool) {
+	s, ok := v.(string)
+	if !ok {
+		p.errf(path, "must be a string, got %s", jsonType(v))
+		return "", false
+	}
+	return s, true
+}
+
+func (p *parser) reqStr(path string, m map[string]any, key string) string {
+	v, ok := m[key]
+	if !ok {
+		p.errf(child(path, key), "missing required field")
+		return ""
+	}
+	s, _ := p.str(child(path, key), v)
+	return s
+}
+
+func (p *parser) optStr(path string, m map[string]any, key string) string {
+	v, ok := m[key]
+	if !ok {
+		return ""
+	}
+	s, _ := p.str(child(path, key), v)
+	return s
+}
+
+func (p *parser) i64(path string, v any) (int64, bool) {
+	n, ok := v.(json.Number)
+	if !ok {
+		p.errf(path, "must be an integer, got %s", jsonType(v))
+		return 0, false
+	}
+	i, err := n.Int64()
+	if err != nil {
+		p.errf(path, "must be an integer, got %s", n.String())
+		return 0, false
+	}
+	return i, true
+}
+
+func (p *parser) optI64(path string, m map[string]any, key string) int64 {
+	v, ok := m[key]
+	if !ok {
+		return 0
+	}
+	i, _ := p.i64(child(path, key), v)
+	return i
+}
+
+func (p *parser) optInt(path string, m map[string]any, key string) int {
+	return int(p.optI64(path, m, key))
+}
+
+func (p *parser) f64(path string, v any) (float64, bool) {
+	n, ok := v.(json.Number)
+	if !ok {
+		p.errf(path, "must be a number, got %s", jsonType(v))
+		return 0, false
+	}
+	f, err := n.Float64()
+	if err != nil {
+		p.errf(path, "must be a number, got %s", n.String())
+		return 0, false
+	}
+	return f, true
+}
+
+func (p *parser) optF64(path string, m map[string]any, key string) float64 {
+	v, ok := m[key]
+	if !ok {
+		return 0
+	}
+	f, _ := p.f64(child(path, key), v)
+	return f
+}
+
+func (p *parser) optBool(path string, m map[string]any, key string) bool {
+	v, ok := m[key]
+	if !ok {
+		return false
+	}
+	b, ok := v.(bool)
+	if !ok {
+		p.errf(child(path, key), "must be a boolean, got %s", jsonType(v))
+		return false
+	}
+	return b
+}
+
+func (p *parser) i64Arr(path string, m map[string]any, key string) []int64 {
+	v, ok := m[key]
+	if !ok {
+		return nil
+	}
+	a, ok := p.arr(child(path, key), v)
+	if !ok {
+		return nil
+	}
+	out := make([]int64, 0, len(a))
+	for i, e := range a {
+		n, ok := p.i64(elem(child(path, key), i), e)
+		if !ok {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func (p *parser) intArr(path string, m map[string]any, key string) []int {
+	vs := p.i64Arr(path, m, key)
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = int(v)
+	}
+	if vs == nil {
+		return nil
+	}
+	return out
+}
+
+// unit parses a machine rate/count that is either a JSON number or a unit
+// string: "11.3e12", "11.3T", "11.3 TFLOPS", "12GB/s". This is where unit
+// normalization happens — every accepted spelling lowers to the same
+// float64, so cosmetic unit differences cannot reach the fingerprint.
+func (p *parser) unit(path string, v any) (float64, bool) {
+	switch t := v.(type) {
+	case json.Number:
+		return p.f64(path, v)
+	case string:
+		f, err := parseUnit(t)
+		if err != nil {
+			p.errf(path, "%v", err)
+			return 0, false
+		}
+		return f, true
+	}
+	p.errf(path, "must be a number or a unit string (e.g. \"11.3TF\", \"12GB/s\"), got %s", jsonType(v))
+	return 0, false
+}
+
+func (p *parser) optUnit(path string, m map[string]any, key string) float64 {
+	v, ok := m[key]
+	if !ok {
+		return 0
+	}
+	f, _ := p.unit(child(path, key), v)
+	return f
+}
+
+// parseUnit lowers "11.3TF" / "12 GB/s" / "5e9" style strings to plain
+// float64s. The optional tail is a unit ("F", "FLOPS", "FLOP/s", "B",
+// "B/s", "BPS", case-insensitive) preceded by an optional SI scale letter
+// (K=1e3, M=1e6, G=1e9, T=1e12, P=1e15).
+func parseUnit(s string) (float64, error) {
+	t := strings.TrimSpace(s)
+	lower := strings.ToLower(t)
+	for _, suf := range []string{"flop/s", "flops", "b/s", "bps", "f", "b"} {
+		if strings.HasSuffix(lower, suf) {
+			t = strings.TrimSpace(t[:len(t)-len(suf)])
+			break
+		}
+	}
+	scale := 1.0
+	if len(t) > 0 {
+		switch t[len(t)-1] {
+		case 'k', 'K':
+			scale = 1e3
+		case 'm', 'M':
+			scale = 1e6
+		case 'g', 'G':
+			scale = 1e9
+		case 't', 'T':
+			scale = 1e12
+		case 'p', 'P':
+			scale = 1e15
+		}
+		if scale != 1 {
+			t = strings.TrimSpace(t[:len(t)-1])
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("malformed unit value %q (want a number with an optional K/M/G/T/P scale and F/FLOPS/B/s unit, e.g. \"11.3TF\" or \"12GB/s\")", s)
+	}
+	return v * scale, nil
+}
+
+func (p *parser) file(root any) *File {
+	m := p.obj("$", root, "version", "name", "batch", "machine", "policy", "nodes", "edges")
+	if m == nil {
+		return nil
+	}
+	f := &File{
+		Version: p.reqStr("$", m, "version"),
+		Name:    p.optStr("$", m, "name"),
+		Batch:   p.optI64("$", m, "batch"),
+	}
+	if f.Batch < 0 {
+		p.errf("batch", "must be >= 0, got %d", f.Batch)
+	}
+	if v, ok := m["machine"]; ok {
+		f.Machine = p.machine("machine", v)
+	} else {
+		p.errf("machine", "missing required field")
+	}
+	if v, ok := m["policy"]; ok {
+		f.Policy = p.policy("policy", v)
+	}
+	if v, ok := m["nodes"]; ok {
+		if a, ok := p.arr("nodes", v); ok {
+			f.Nodes = make([]Node, 0, len(a))
+			for i, e := range a {
+				f.Nodes = append(f.Nodes, p.node(elem("nodes", i), e))
+			}
+		}
+	} else {
+		p.errf("nodes", "missing required field")
+	}
+	if v, ok := m["edges"]; ok {
+		if a, ok := p.arr("edges", v); ok {
+			f.Edges = make([]Edge, 0, len(a))
+			for i, e := range a {
+				f.Edges = append(f.Edges, p.edge(elem("edges", i), e))
+			}
+		}
+	}
+	return f
+}
+
+func (p *parser) machine(path string, v any) Machine {
+	m := p.obj(path, v, "preset", "gpus", "gpus_per_node", "peak_flops", "intra_bw", "inter_bw")
+	if m == nil {
+		return Machine{}
+	}
+	out := Machine{
+		Preset:      p.optStr(path, m, "preset"),
+		GPUsPerNode: p.optInt(path, m, "gpus_per_node"),
+		PeakFLOPS:   p.optUnit(path, m, "peak_flops"),
+		IntraBW:     p.optUnit(path, m, "intra_bw"),
+		InterBW:     p.optUnit(path, m, "inter_bw"),
+	}
+	if gv, ok := m["gpus"]; ok {
+		g, _ := p.i64(child(path, "gpus"), gv)
+		out.GPUs = int(g)
+	} else {
+		p.errf(child(path, "gpus"), "missing required field")
+	}
+	return out
+}
+
+func (p *parser) policy(path string, v any) *Policy {
+	m := p.obj(path, v, "max_split_dims", "require_full_degree")
+	if m == nil {
+		return nil
+	}
+	return &Policy{
+		MaxSplitDims:      p.optInt(path, m, "max_split_dims"),
+		RequireFullDegree: p.optBool(path, m, "require_full_degree"),
+	}
+}
+
+func (p *parser) node(path string, v any) Node {
+	m := p.obj(path, v,
+		"id", "name", "op", "dims", "flops_per_point", "halo", "norm_dims",
+		"inputs", "params", "output")
+	if m == nil {
+		return Node{}
+	}
+	n := Node{
+		Name:          p.reqStr(path, m, "name"),
+		Op:            p.reqStr(path, m, "op"),
+		FlopsPerPoint: p.optF64(path, m, "flops_per_point"),
+		Halo:          p.i64Arr(path, m, "halo"),
+		NormDims:      p.intArr(path, m, "norm_dims"),
+	}
+	if iv, ok := m["id"]; ok {
+		if id, ok := p.i64(child(path, "id"), iv); ok {
+			i := int(id)
+			n.ID = &i
+		}
+	}
+	if dv, ok := m["dims"]; ok {
+		if a, ok := p.arr(child(path, "dims"), dv); ok {
+			n.Dims = make([]Dim, 0, len(a))
+			for i, e := range a {
+				n.Dims = append(n.Dims, p.dim(elem(child(path, "dims"), i), e))
+			}
+		}
+	} else {
+		p.errf(child(path, "dims"), "missing required field")
+	}
+	n.Inputs = p.refArr(path, m, "inputs")
+	n.Params = p.refArr(path, m, "params")
+	if ov, ok := m["output"]; ok {
+		r := p.ref(child(path, "output"), ov)
+		n.Output = &r
+	} else {
+		p.errf(child(path, "output"), "missing required field")
+	}
+	return n
+}
+
+func (p *parser) dim(path string, v any) Dim {
+	m := p.obj(path, v, "name", "size")
+	if m == nil {
+		return Dim{}
+	}
+	d := Dim{Name: p.reqStr(path, m, "name")}
+	if sv, ok := m["size"]; ok {
+		d.Size, _ = p.i64(child(path, "size"), sv)
+	} else {
+		p.errf(child(path, "size"), "missing required field")
+	}
+	return d
+}
+
+func (p *parser) refArr(path string, m map[string]any, key string) []Ref {
+	v, ok := m[key]
+	if !ok {
+		return nil
+	}
+	a, ok := p.arr(child(path, key), v)
+	if !ok {
+		return nil
+	}
+	out := make([]Ref, 0, len(a))
+	for i, e := range a {
+		out = append(out, p.ref(elem(child(path, key), i), e))
+	}
+	return out
+}
+
+func (p *parser) ref(path string, v any) Ref {
+	m := p.obj(path, v, "map", "offset", "size", "scale")
+	if m == nil {
+		return Ref{}
+	}
+	return Ref{
+		Map:    p.intArr(path, m, "map"),
+		Offset: p.i64Arr(path, m, "offset"),
+		Size:   p.i64Arr(path, m, "size"),
+		Scale:  p.optF64(path, m, "scale"),
+	}
+}
+
+func (p *parser) edge(path string, v any) Edge {
+	m := p.obj(path, v, "from", "to", "slot")
+	if m == nil {
+		return Edge{}
+	}
+	e := Edge{
+		From: p.reqStr(path, m, "from"),
+		To:   p.reqStr(path, m, "to"),
+		Slot: p.optInt(path, m, "slot"),
+	}
+	if e.Slot < 0 {
+		p.errf(child(path, "slot"), "must be >= 0, got %d", e.Slot)
+	}
+	return e
+}

@@ -1,0 +1,219 @@
+// Package spec is the declarative graph-ingestion pipeline: a versioned JSON
+// wire format (pase-graph/v1) describing a computation graph, the machine it
+// runs on, and the enumeration policy is parsed strictly, normalized to a
+// canonical form, and lowered to the internal IR (graph.Graph + machine.Spec
+// + itspace.EnumPolicy) that the unchanged planner/solve path consumes. It is
+// the layer that lets callers bring their own models instead of naming a
+// registry benchmark.
+//
+// The pipeline has three stages, each with a sharp contract:
+//
+//	Parse     — strict structural decoding. Unknown fields, wrong types, and
+//	            malformed values are collected as path-addressed diagnostics
+//	            ("nodes[3].flops_per_point: must be an integer"), all of
+//	            them, not just the first.
+//	Normalize — semantic validation and canonicalization: node-kind alias
+//	            resolution, machine-unit normalization, defaulting,
+//	            empty-vs-nil collapsing, edge resolution by name, cycle
+//	            detection, and the canonical topological node order.
+//	Lower     — construction of the internal IR, re-validated by
+//	            graph.Validate as a backstop.
+//
+// Normalization precedes fingerprinting by design: the planner's canonical
+// SHA-256 fingerprints are its cache/singleflight/shard keys, so two
+// differently-ordered but equivalent specs must reach the planner as the
+// same IR bytes or every cache layer silently fragments. After Normalize,
+// permuting a document's node array, edge array, or JSON key order cannot
+// change the fingerprint.
+//
+// Node ids are the strategy's addressing scheme (Result.Strategy[id]), so
+// they are part of the canonical form. A document may pin them explicitly
+// (all-or-none; they must form a topological order), which is what
+// FromGraph-exported documents do so that a spec round-trips to the exact
+// fingerprint of the graph it was exported from. Documents without ids get
+// the canonical numbering: the lexicographically least topological order by
+// node name — deterministic, so the same input always produces the same
+// output.
+package spec
+
+import (
+	"strings"
+
+	"pase/internal/canon"
+	"pase/internal/graph"
+	"pase/internal/itspace"
+	"pase/internal/machine"
+	"pase/internal/planner"
+)
+
+// Version is the wire-format version this build reads and writes. Version
+// negotiation is strict: a document declaring any other version (a future
+// pase-graph/v2, a typo) is rejected at Normalize with a diagnostic rather
+// than being misread field-by-field.
+const Version = "pase-graph/v1"
+
+// Diagnostic is one path-addressed problem with a document, e.g.
+// {Path: "nodes[3].flops_per_point", Msg: "must be finite and >= 0"}.
+// Path is a dotted/indexed locator into the JSON document ("$" for the
+// document itself).
+type Diagnostic struct {
+	Path string `json:"path"`
+	Msg  string `json:"msg"`
+}
+
+func (d Diagnostic) String() string {
+	if d.Path == "" {
+		return d.Msg
+	}
+	return d.Path + ": " + d.Msg
+}
+
+// Error carries every diagnostic a pipeline stage collected — parsing and
+// normalization report all problems in one pass, not just the first, so one
+// lint round trip fixes a document.
+type Error struct {
+	Diags []Diagnostic
+}
+
+func (e *Error) Error() string {
+	parts := make([]string, len(e.Diags))
+	for i, d := range e.Diags {
+		parts[i] = d.String()
+	}
+	return "spec: " + strings.Join(parts, "; ")
+}
+
+// File is the parsed form of a pase-graph/v1 document. Its JSON tags define
+// the wire format: FromGraph marshals a File to export a graph, and Parse
+// checks a decoded document against exactly these fields.
+type File struct {
+	// Version must be "pase-graph/v1".
+	Version string `json:"version"`
+	// Name is a display label for reports and export documents; it is not
+	// part of the model identity (fingerprints ignore it).
+	Name string `json:"name,omitempty"`
+	// Batch is display metadata: the mini-batch size the node extents were
+	// built at, used for simulated-throughput reporting. The batch is already
+	// baked into the iteration-space extents, so this field does not enter
+	// the fingerprint either.
+	Batch   int64   `json:"batch,omitempty"`
+	Machine Machine `json:"machine"`
+	Policy  *Policy `json:"policy,omitempty"`
+	Nodes   []Node  `json:"nodes"`
+	Edges   []Edge  `json:"edges,omitempty"`
+}
+
+// Machine describes the cluster, in one of two mutually exclusive forms:
+// a preset string ("1080ti", "2080ti", or "uniform:<per-node>:<flops>:
+// <intra>:<inter>" — everything machine.Parse accepts) with a device count,
+// or explicit uniform-cluster numbers. Explicit rates accept JSON numbers or
+// unit strings ("11.3TF", "12 GB/s"); normalization lowers both to the same
+// float64.
+type Machine struct {
+	Preset      string  `json:"preset,omitempty"`
+	GPUs        int     `json:"gpus"`
+	GPUsPerNode int     `json:"gpus_per_node,omitempty"`
+	PeakFLOPS   float64 `json:"peak_flops,omitempty"`
+	IntraBW     float64 `json:"intra_bw,omitempty"`
+	InterBW     float64 `json:"inter_bw,omitempty"`
+}
+
+// Policy is the iteration-space enumeration policy (itspace.EnumPolicy on
+// the wire).
+type Policy struct {
+	MaxSplitDims      int  `json:"max_split_dims,omitempty"`
+	RequireFullDegree bool `json:"require_full_degree,omitempty"`
+}
+
+// Node is one layer: its kind, iteration space, and the compute/size
+// attributes the cost layer reads (FLOPs density, halos, normalization dims,
+// tensor references). Inputs[k] describes the tensor arriving on slot k;
+// Params entries are parameter (weight) tensors; Output is the single output
+// tensor every out-edge ships.
+type Node struct {
+	// ID pins this node's position in the canonical order and therefore its
+	// strategy address. Explicit ids are all-or-none across the document and
+	// must form a topological order; omit every id to get the canonical
+	// numbering instead.
+	ID            *int    `json:"id,omitempty"`
+	Name          string  `json:"name"`
+	Op            string  `json:"op"`
+	Dims          []Dim   `json:"dims"`
+	FlopsPerPoint float64 `json:"flops_per_point,omitempty"`
+	Halo          []int64 `json:"halo,omitempty"`
+	NormDims      []int   `json:"norm_dims,omitempty"`
+	Inputs        []Ref   `json:"inputs,omitempty"`
+	Params        []Ref   `json:"params,omitempty"`
+	Output        *Ref    `json:"output"`
+}
+
+// Dim is one named iteration-space dimension.
+type Dim struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+// Ref is a tensor reference: Map[t] names the iteration dim indexing tensor
+// dim t; Offset/Size window the reference (concat inputs); Scale multiplies
+// the byte volume (0 means 1). Parameter-ness is positional — refs listed
+// under "params" are parameters — so the flag cannot be stated
+// inconsistently.
+type Ref struct {
+	Map    []int   `json:"map,omitempty"`
+	Offset []int64 `json:"offset,omitempty"`
+	Size   []int64 `json:"size,omitempty"`
+	Scale  float64 `json:"scale,omitempty"`
+}
+
+// Edge is one producer → consumer tensor flow: From's output arrives on
+// input slot Slot of To. Nodes are referenced by name (names must be unique),
+// so edge-array order carries no meaning.
+type Edge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Slot int    `json:"slot,omitempty"`
+}
+
+// IR is the normalized internal form: the lowered graph in canonical node
+// order plus the machine and policy, ready for the planner's front door.
+type IR struct {
+	// Name and Batch are the document's display metadata (see File).
+	Name  string
+	Batch int64
+	// G is the lowered graph: nodes in canonical order, in-edges in slot
+	// order.
+	G       *graph.Graph
+	Machine machine.Spec
+	Policy  itspace.EnumPolicy
+}
+
+// ModelFingerprint returns the canonical model fingerprint of this IR —
+// byte-identical to what the planner computes for a registry request with
+// the same graph, machine, and policy, which is what makes inline-spec
+// solves share cache entries with their registry twins.
+func (ir *IR) ModelFingerprint() canon.Fingerprint {
+	fp, _ := planner.Fingerprints(planner.Request{G: ir.G, Spec: ir.Machine, Opts: planner.Options{Policy: ir.Policy}})
+	return fp
+}
+
+// Request lifts the IR into a planner request under the given options. A
+// zero opts.Policy takes the spec's policy (the common case); explicit
+// policy fields in opts win, mirroring how wire options override a registry
+// model's default policy.
+func (ir *IR) Request(opts planner.Options) planner.Request {
+	if opts.Policy == (itspace.EnumPolicy{}) {
+		opts.Policy = ir.Policy
+	}
+	return planner.Request{G: ir.G, Spec: ir.Machine, Opts: opts}
+}
+
+// Load is Parse followed by Normalize: document bytes to solvable IR in one
+// call. Any error is an *Error carrying every diagnostic collected by the
+// failing stage.
+func Load(data []byte) (*IR, error) {
+	f, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return f.Normalize()
+}

@@ -95,6 +95,23 @@
 // and optional warm-restart snapshots (Planner.SaveSnapshot/LoadSnapshot)
 // that persist the result cache and class store across restarts.
 //
+// Models that are not registry benchmarks enter through the declarative
+// ingestion pipeline: a versioned JSON document ("pase-graph/v1") describing
+// nodes, edges, machine, and policy is strictly parsed (every problem
+// reported as a path-addressed diagnostic), normalized to a canonical form
+// (alias resolution, unit normalization, topological node numbering), and
+// lowered to the same Graph + Machine the registry models build — so a spec
+// solve shares planner cache entries with any equivalent request, however
+// the document was ordered or spelled:
+//
+//	ir, err := pase.LoadSpec(specBytes) // parse + validate + normalize
+//	res, err = pase.Solve(ctx, ir.Request(pase.Options{}))
+//
+// The same document solves from the CLI (pase -spec model.json), lints with
+// all diagnostics at once (pase lint model.json), exports from any registry
+// model (pase export-spec -model alexnet -gpus 8), and solves over the wire
+// (POST /v1/solve with {"spec": {...}} in place of {"model": "..."}).
+//
 // Find, FindWithModel, and the one-off baseline helpers from earlier
 // releases remain as thin deprecated wrappers over this request path.
 //
@@ -124,6 +141,7 @@ import (
 	"pase/internal/pressure"
 	"pase/internal/seq"
 	"pase/internal/sim"
+	"pase/internal/spec"
 	"pase/internal/strategies"
 )
 
@@ -527,4 +545,43 @@ func ImportStrategy(r io.Reader, g *Graph) (Strategy, error) {
 // weakest-node bottleneck rule.
 func HeterogeneousMachine(specs ...Machine) (Machine, error) {
 	return machine.Heterogeneous(specs...)
+}
+
+// Declarative graph ingestion (the pase-graph/v1 wire format).
+type (
+	// SpecFile is a parsed pase-graph/v1 document: nodes, edges, machine,
+	// and policy in their wire form, before normalization.
+	SpecFile = spec.File
+	// SpecIR is a normalized, lowered spec: the canonical Graph plus machine
+	// and policy, ready to solve (SpecIR.Request) and fingerprint-compatible
+	// with equivalent programmatic requests (SpecIR.ModelFingerprint).
+	SpecIR = spec.IR
+	// SpecDiagnostic is one path-addressed problem with a spec document,
+	// e.g. {Path: "nodes[3].flops_per_point", Msg: "must be finite and >= 0"}.
+	SpecDiagnostic = spec.Diagnostic
+	// SpecError carries every diagnostic a spec pipeline stage collected —
+	// all problems in one pass, so one lint round trip fixes a document.
+	SpecError = spec.Error
+)
+
+// SpecVersion is the spec wire-format version this build reads and writes.
+const SpecVersion = spec.Version
+
+// ParseSpec strictly decodes a pase-graph/v1 document without normalizing
+// it. Most callers want LoadSpec; ParseSpec is for tools that inspect or
+// rewrite the document form.
+func ParseSpec(data []byte) (*SpecFile, error) { return spec.Parse(data) }
+
+// LoadSpec runs the full ingestion pipeline — strict parse, semantic
+// validation, canonical normalization, lowering — and returns the solvable
+// IR. On failure the error is a *SpecError listing every problem found,
+// path-addressed.
+func LoadSpec(data []byte) (*SpecIR, error) { return spec.Load(data) }
+
+// ExportSpec converts a programmatically built graph (a registry model, a
+// Builder graph) to its pase-graph/v1 document form, with node ids pinned so
+// the document round-trips to a byte-identical fingerprint. machineSpec is a
+// ParseMachine preset string; batch is display metadata.
+func ExportSpec(name string, g *Graph, machineSpec string, gpus int, pol EnumPolicy, batch int64) (*SpecFile, error) {
+	return spec.FromGraph(name, g, machineSpec, gpus, pol, batch)
 }
