@@ -67,11 +67,27 @@
 //	                   simulated step, and speedup over data parallelism —
 //	                   the paper's Fig. 6 as an endpoint.
 //	GET  /v1/healthz — liveness (the process is up; always 200).
-//	GET  /v1/readyz  — readiness: 503 while restoring a snapshot on boot and
-//	                   once a SIGTERM drain has begun, 200 otherwise.
+//	GET  /v1/readyz  — readiness: a structured {"ready", "peers": [...]}
+//	                   body; 503 while restoring a snapshot on boot and once
+//	                   a SIGTERM drain has begun, 200 otherwise. The peers
+//	                   array carries each fleet peer's health and breaker
+//	                   state (empty on a single-node daemon).
 //	GET  /v1/stats   — planner cache/dedup/cancellation/pressure counters
-//	                   (shed, queued, degraded, panics, restored_results) and
-//	                   server counters.
+//	                   (shed, queued, degraded, panics, restored_results),
+//	                   server counters, and the fleet block when clustered.
+//	GET  /metrics    — the same counters in Prometheus text exposition
+//	                   format, fleet breaker state per peer included.
+//
+//	POST /v1/internal/solve — the peer-to-peer route fleet-forwarded solves
+//	                   arrive on; identical to /v1/solve but never
+//	                   re-forwards (loop safety). Not for external clients.
+//
+// Fleet mode: -peers + -advertise make N daemons one logical planner.
+// Rendezvous hashing over the canonical solve fingerprints assigns each
+// solve an owner; non-owners forward (bounded retries, jittered backoff,
+// per-peer circuit breakers, background health probing), and when the owner
+// is unreachable the receiving daemon solves locally, marking the response
+// fleet_fallback — peer failure costs cache efficiency, never availability.
 //
 // -debug-addr mounts net/http/pprof on a separate localhost listener so
 // production hot-path regressions are diagnosable without exposing profiles
@@ -85,17 +101,21 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served only via -debug-addr
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"pase"
+	"pase/internal/fleet"
 )
 
 // solveRequest is the wire form of one solve request. Exactly one of Model
@@ -203,6 +223,14 @@ type solveResponse struct {
 	// exact solve could not run — "oom" or "pressure".
 	Degraded      bool   `json:"degraded"`
 	DegradeReason string `json:"degrade_reason,omitempty"`
+	// FleetForwarded reports this response was served by the fleet member
+	// that owns the request's fingerprint (FleetOwner) rather than the
+	// daemon addressed; FleetFallback reports the addressed daemon solved it
+	// locally because the owner was unreachable. Both absent on a
+	// single-node daemon and for requests the daemon owns itself.
+	FleetForwarded bool   `json:"fleet_forwarded,omitempty"`
+	FleetFallback  bool   `json:"fleet_fallback,omitempty"`
+	FleetOwner     string `json:"fleet_owner,omitempty"`
 }
 
 type batchRequest struct {
@@ -264,6 +292,11 @@ type server struct {
 	solveTimeout time.Duration
 	start        time.Time
 	served       atomic.Int64
+	// fleet, when non-nil, makes this daemon a fleet member: solve requests
+	// whose fingerprint another member owns are forwarded there (or solved
+	// locally as a marked fallback when the owner is unreachable). Set
+	// before the listener starts; nil on a single-node daemon.
+	fleet *fleet.Client
 	// specSolves counts successfully served inline-spec solves (cache hits
 	// included); specErrors counts inline-spec requests rejected by the
 	// ingestion pipeline or the wire bounds.
@@ -288,6 +321,10 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	// The internal route is how forwarded solves arrive from peers; its
+	// handler never re-forwards (loop safety), whatever the local ring says.
+	mux.HandleFunc("POST "+fleet.InternalSolvePath, s.handleInternalSolve)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -376,20 +413,39 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// peerReadiness is one fleet peer's row in the readyz body: the health
+// prober's verdict and the circuit breaker's state — the same view the fleet
+// router uses, so orchestrators and the prober never disagree.
+type peerReadiness struct {
+	ID      string `json:"id"`
+	Healthy bool   `json:"healthy"`
+	Breaker string `json:"breaker"`
+}
+
 func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	body := map[string]any{"ready": true}
+	status := http.StatusOK
 	switch {
 	case s.draining.Load():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		body["ready"], body["reason"] = false, "draining"
+		status = http.StatusServiceUnavailable
 	case s.notReady.Load():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
-	default:
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+		body["ready"], body["reason"] = false, "starting"
+		status = http.StatusServiceUnavailable
 	}
+	peers := []peerReadiness{}
+	if s.fleet != nil {
+		for _, p := range s.fleet.Stats().Peers {
+			peers = append(peers, peerReadiness{ID: p.ID, Healthy: p.Healthy, Breaker: p.Breaker})
+		}
+	}
+	body["peers"] = peers
+	writeJSON(w, status, body)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	models, results := s.pl.CacheSizes()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"planner":        s.pl.Stats(),
 		"cached_models":  models,
 		"cached_results": results,
@@ -399,7 +455,11 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"uptime_ms":      time.Since(s.start).Milliseconds(),
 		"ready":          !s.notReady.Load() && !s.draining.Load(),
 		"draining":       s.draining.Load(),
-	})
+	}
+	if s.fleet != nil {
+		body["fleet"] = s.fleet.Stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // toRequest validates and lowers a wire request onto the planner's Request,
@@ -561,6 +621,7 @@ func toResponse(req pase.SolveRequest, model string, res *pase.Result) (*solveRe
 		BeamWidth:        res.BeamWidth,
 		Degraded:         res.Degraded,
 		DegradeReason:    res.DegradeReason,
+		FleetFallback:    res.FleetFallback,
 	}, nil
 }
 
@@ -593,9 +654,28 @@ const (
 )
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.serveSolve(w, r, false)
+}
+
+// handleInternalSolve serves fleet-forwarded solves. It is identical to
+// /v1/solve except that it NEVER re-forwards: a forwarded request is solved
+// here even if this daemon's ring disagrees about ownership, which is what
+// makes forwarding loop-free under inconsistent member views.
+func (s *server) handleInternalSolve(w http.ResponseWriter, r *http.Request) {
+	s.serveSolve(w, r, true)
+}
+
+func (s *server) serveSolve(w http.ResponseWriter, r *http.Request, internal bool) {
 	s.served.Add(1)
+	// The raw body is read up front (rather than stream-decoded) because a
+	// fleet forward relays these exact bytes to the owner.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("read request: %w", err))
+		return
+	}
 	var sr solveRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&sr); err != nil {
+	if err := json.Unmarshal(body, &sr); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decode request: %w", err))
 		return
 	}
@@ -603,7 +683,6 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var (
 		req  pase.SolveRequest
 		name string
-		err  error
 	)
 	if isSpec {
 		req, name, err = s.toSpecRequest(sr)
@@ -621,6 +700,26 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.solveCtx(r)
 	defer cancel()
+	var fleetOwner string
+	if s.fleet != nil && !internal {
+		// Route only what this daemon cannot already answer: a local cache
+		// hit or in-flight identical solve is as good as the owner's copy
+		// (results are deterministic), and skipping the hop keeps a degraded
+		// fleet's hit latency flat.
+		if fp, ferr := s.pl.SolveFingerprint(req); ferr == nil && !s.pl.HasLocal(fp) {
+			switch out := s.fleet.Route(ctx, fp, body); out.Decision {
+			case fleet.Forwarded:
+				if s.relayForwarded(w, out, isSpec) {
+					return
+				}
+				// The owner answered 200 with an undecodable body (version
+				// skew, truncation): solve locally rather than fail.
+				req.FleetFallback, fleetOwner = true, out.Owner
+			case fleet.Fallback:
+				req.FleetFallback, fleetOwner = true, out.Owner
+			}
+		}
+	}
 	res, err := s.pl.Solve(ctx, req)
 	if err != nil {
 		writeSolveError(w, err)
@@ -634,7 +733,36 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "internal", err)
 		return
 	}
+	if resp.FleetFallback {
+		resp.FleetOwner = fleetOwner
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// relayForwarded writes the owner's response through to the client, marked
+// with the fleet routing. It returns false only when the owner's 200 body
+// does not decode — the caller then solves locally instead of failing the
+// request. Non-200 answers the fleet client deemed definitive (the owner
+// rejected the request) are relayed verbatim.
+func (s *server) relayForwarded(w http.ResponseWriter, out fleet.Outcome, isSpec bool) bool {
+	if out.Status != http.StatusOK {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(out.Status)
+		w.Write(out.Body)
+		return true
+	}
+	var resp solveResponse
+	if err := json.Unmarshal(out.Body, &resp); err != nil {
+		log.Printf("pased: fleet: undecodable 200 from %s: %v (solving locally)", out.Owner, err)
+		return false
+	}
+	resp.FleetForwarded = true
+	resp.FleetOwner = out.Owner
+	if isSpec {
+		s.specSolves.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return true
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -685,6 +813,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.solveCtx(r)
 	defer cancel()
+	owners := make([]string, len(reqs))
+	if s.fleet != nil {
+		reqs, models, specIdx, idx, owners = s.forwardBatch(ctx, br, entries, reqs, models, specIdx, idx)
+	}
 	for k, item := range s.pl.SolveBatch(ctx, reqs) {
 		i := idx[k]
 		if item.Err != nil {
@@ -699,9 +831,95 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			entries[i].Error = err.Error()
 			continue
 		}
+		if resp.FleetFallback {
+			resp.FleetOwner = owners[k]
+		}
 		entries[i].solveResponse = resp
 	}
 	writeJSON(w, http.StatusOK, batchResponse{Results: entries})
+}
+
+// forwardBatch routes each valid batch item through the fleet: items owned
+// by a reachable peer are forwarded concurrently (each as one internal
+// solve, so the owner's singleflight dedupes them cluster-wide) and their
+// entries filled from the owner's response. Everything else — owned here,
+// already answerable here, or fallback-marked because the owner is
+// unreachable — is returned, slices re-aligned, for the local SolveBatch.
+func (s *server) forwardBatch(ctx context.Context, br batchRequest, entries []batchEntry, reqs []pase.SolveRequest, models []string, specIdx []bool, idx []int) ([]pase.SolveRequest, []string, []bool, []int, []string) {
+	done := make([]bool, len(reqs))
+	owners := make([]string, len(reqs))
+	var wg sync.WaitGroup
+	for k := range reqs {
+		fp, err := s.pl.SolveFingerprint(reqs[k])
+		if err != nil || s.pl.HasLocal(fp) {
+			continue
+		}
+		// Re-marshaling the decoded wire item is lossless (Spec is raw JSON,
+		// options ride a pointer), and gives the peer call a body without
+		// the other items.
+		body, err := json.Marshal(br.Requests[idx[k]])
+		if err != nil {
+			continue
+		}
+		wg.Add(1)
+		go func(k int, fp pase.Fingerprint, body []byte) {
+			defer wg.Done()
+			out := s.fleet.Route(ctx, fp, body)
+			switch out.Decision {
+			case fleet.Forwarded:
+				if out.Status != http.StatusOK {
+					var e struct {
+						Error   string                `json:"error"`
+						Details []pase.SpecDiagnostic `json:"details"`
+					}
+					if json.Unmarshal(out.Body, &e) == nil && e.Error != "" {
+						entries[idx[k]].Error = e.Error
+						entries[idx[k]].Details = e.Details
+						done[k] = true
+						return
+					}
+					owners[k] = out.Owner // undecodable: solve locally
+					return
+				}
+				var resp solveResponse
+				if err := json.Unmarshal(out.Body, &resp); err != nil {
+					owners[k] = out.Owner
+					return
+				}
+				resp.FleetForwarded = true
+				resp.FleetOwner = out.Owner
+				if specIdx[k] {
+					s.specSolves.Add(1)
+				}
+				entries[idx[k]].solveResponse = &resp
+				done[k] = true
+			case fleet.Fallback:
+				owners[k] = out.Owner
+			}
+		}(k, fp, body)
+	}
+	wg.Wait()
+	var (
+		restReqs   []pase.SolveRequest
+		restModels []string
+		restSpec   []bool
+		restIdx    []int
+		restOwners []string
+	)
+	for k := range reqs {
+		if done[k] {
+			continue
+		}
+		if owners[k] != "" {
+			reqs[k].FleetFallback = true
+		}
+		restReqs = append(restReqs, reqs[k])
+		restModels = append(restModels, models[k])
+		restSpec = append(restSpec, specIdx[k])
+		restIdx = append(restIdx, idx[k])
+		restOwners = append(restOwners, owners[k])
+	}
+	return restReqs, restModels, restSpec, restIdx, restOwners
 }
 
 func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
@@ -812,9 +1030,18 @@ func main() {
 		maxQueue     = flag.Int("max-queue", 0, "max requests waiting for a solve slot before load shedding (0 = default 64; effective only with -max-inflight)")
 		degradeWidth = flag.Int("degrade-beam-width", 16, "beam frontier width for degraded dp solves — served when the exact DP exceeds its table budget or the queue is deep (0 = degradation off: OOM surfaces as 503)")
 		degradeDepth = flag.Int("degrade-queue-depth", 0, "queue depth at arrival beyond which dp requests degrade to the bounded beam (0 = max-queue/2, negative = never degrade on queue pressure)")
-		faultPlan    = flag.String("fault-plan", "", "DEBUG ONLY: fault-injection spec site:kind[:arg],... (sites solve, dp, model; kinds oom, panic, latency) for exercising shed/degrade/panic paths")
+		faultPlan    = flag.String("fault-plan", "", "DEBUG ONLY: fault-injection spec site:kind[:arg],... (sites solve, dp, model, peer; kinds oom, panic, latency, error, drop) for exercising shed/degrade/panic/fleet paths")
 		snapPath     = flag.String("snapshot-path", "", "warm-restart snapshot file: restored on boot, checkpointed every -snapshot-interval and on SIGTERM (off when empty)")
 		snapEvery    = flag.Duration("snapshot-interval", 5*time.Minute, "periodic checkpoint interval when -snapshot-path is set (0 = checkpoint only on SIGTERM)")
+
+		peers          = flag.String("peers", "", "comma-separated base URLs of the other fleet members (e.g. http://10.0.0.2:8555,http://10.0.0.3:8555); empty = single-node daemon")
+		advertise      = flag.String("advertise", "", "this daemon's own base URL as peers reach it (required with -peers; must appear in every peer's -peers list)")
+		fleetAttempts  = flag.Int("fleet-attempts", 3, "peer-forward attempts before falling back to a local solve")
+		fleetBackoff   = flag.Duration("fleet-backoff", 25*time.Millisecond, "base backoff between peer-forward retries (doubles per retry, jittered)")
+		fleetTimeout   = flag.Duration("fleet-attempt-timeout", 2*time.Second, "per-attempt peer call timeout")
+		fleetThreshold = flag.Int("fleet-breaker-threshold", 3, "consecutive peer call failures that open that peer's circuit breaker")
+		fleetCooldown  = flag.Duration("fleet-breaker-cooldown", 2*time.Second, "how long an open breaker refuses a peer before admitting a half-open trial call")
+		fleetProbe     = flag.Duration("fleet-probe-interval", time.Second, "background peer health-probe period (GET /v1/readyz on every peer)")
 	)
 	flag.Parse()
 	if *pruneEps < 0 || *pruneEps > maxPruneEpsilon {
@@ -874,6 +1101,30 @@ func main() {
 		// Not ready until the snapshot restore below completes; the listener
 		// starts first so /v1/readyz is answerable (503) during the restore.
 		sv.notReady.Store(true)
+	}
+	if *peers != "" {
+		if *advertise == "" {
+			log.Fatalf("pased: -peers requires -advertise (this daemon's own base URL, its identity in the hash ring)")
+		}
+		fc, err := fleet.New(fleet.Config{
+			Self:             *advertise,
+			Peers:            strings.Split(*peers, ","),
+			Attempts:         *fleetAttempts,
+			BaseBackoff:      *fleetBackoff,
+			AttemptTimeout:   *fleetTimeout,
+			BreakerThreshold: *fleetThreshold,
+			BreakerCooldown:  *fleetCooldown,
+			ProbeInterval:    *fleetProbe,
+			Faults:           faults,
+			Logf:             log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("pased: %v", err)
+		}
+		fc.Start()
+		defer fc.Close()
+		sv.fleet = fc
+		log.Printf("pased: fleet member %s, peers %s", fc.Self(), *peers)
 	}
 	srv := &http.Server{
 		Addr:              *addr,

@@ -46,22 +46,29 @@ func TestReadyzLifecycle(t *testing.T) {
 	ts := httptest.NewServer(s.mux())
 	defer ts.Close()
 
-	assertReadyz := func(wantStatus int, wantBody string) {
+	assertReadyz := func(wantStatus int, wantReason string) {
 		t.Helper()
 		status, out := getJSON(t, ts.URL+"/v1/readyz")
-		if status != wantStatus || out["status"] != wantBody {
-			t.Fatalf("readyz = %d %v, want %d %q", status, out, wantStatus, wantBody)
+		ready, _ := out["ready"].(bool)
+		reason, _ := out["reason"].(string)
+		if status != wantStatus || ready != (wantStatus == http.StatusOK) || reason != wantReason {
+			t.Fatalf("readyz = %d %v, want %d with reason %q", status, out, wantStatus, wantReason)
+		}
+		// The structured body always carries the peers array — empty on a
+		// single-node daemon — so orchestrators parse one shape everywhere.
+		if peers, ok := out["peers"].([]any); !ok || len(peers) != 0 {
+			t.Fatalf("readyz peers = %v, want an empty array on a single-node daemon", out["peers"])
 		}
 		if hs, _ := getJSON(t, ts.URL+"/v1/healthz"); hs != http.StatusOK {
-			t.Fatalf("healthz %d during %q, want it to stay 200 (liveness)", hs, wantBody)
+			t.Fatalf("healthz %d during %q, want it to stay 200 (liveness)", hs, wantReason)
 		}
 	}
 
-	assertReadyz(http.StatusOK, "ready")
+	assertReadyz(http.StatusOK, "")
 	s.notReady.Store(true) // boot: snapshot restore in progress
 	assertReadyz(http.StatusServiceUnavailable, "starting")
 	s.notReady.Store(false)
-	assertReadyz(http.StatusOK, "ready")
+	assertReadyz(http.StatusOK, "")
 	s.draining.Store(true) // SIGTERM drain has begun
 	assertReadyz(http.StatusServiceUnavailable, "draining")
 }

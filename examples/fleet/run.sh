@@ -1,0 +1,60 @@
+#!/bin/sh
+# Run a three-node pased fleet as local processes (no Docker): build pased,
+# boot the members on ports 8601-8603 with mutual -peers/-advertise and
+# per-node snapshots, then demonstrate the fleet routing. Ctrl-C tears the
+# fleet down.
+#
+#   sh examples/fleet/run.sh
+#
+# Try it while it runs:
+#   curl -s -X POST localhost:8601/v1/solve -d '{"model":"alexnet","gpus":8}'
+#   kill -9 "$(cat /tmp/pased-fleet/8602.pid)"   # murder a member
+#   curl -s localhost:8601/metrics | grep pase_fleet_peer_healthy
+set -eu
+
+cd "$(dirname "$0")/../.."
+state=/tmp/pased-fleet
+mkdir -p "$state"
+go build -o "$state/pased" ./cmd/pased
+
+pids=""
+cleanup() {
+    # shellcheck disable=SC2086 — pids is a space-separated list on purpose.
+    [ -n "$pids" ] && kill $pids 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+for port in 8601 8602 8603; do
+    peers=""
+    for other in 8601 8602 8603; do
+        [ "$other" = "$port" ] && continue
+        peers="${peers:+$peers,}http://127.0.0.1:$other"
+    done
+    "$state/pased" -addr "127.0.0.1:$port" \
+        -advertise "http://127.0.0.1:$port" -peers "$peers" \
+        -fleet-probe-interval 500ms \
+        -snapshot-path "$state/$port.snapshot" \
+        >"$state/$port.log" 2>&1 &
+    pids="$pids $!"
+    echo "$!" >"$state/$port.pid"
+done
+
+for port in 8601 8602 8603; do
+    i=0
+    until curl -sf "http://127.0.0.1:$port/v1/readyz" >/dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 50 ] && { echo "pased on $port never became ready; see $state/$port.log" >&2; exit 1; }
+        sleep 0.2
+    done
+done
+echo "fleet up: http://127.0.0.1:{8601,8602,8603} (logs and pids in $state)"
+
+echo "--- solve via 8601 (forwarded to the fingerprint's owner unless 8601 owns it):"
+curl -s -X POST http://127.0.0.1:8601/v1/solve -d '{"model":"alexnet","gpus":8}' |
+    grep -E '"(cost_seconds|cached|fleet_forwarded|fleet_fallback|fleet_owner)"' || true
+echo "--- the same solve via 8602 is a cluster-wide cache hit:"
+curl -s -X POST http://127.0.0.1:8602/v1/solve -d '{"model":"alexnet","gpus":8}' |
+    grep -E '"(cost_seconds|cached|fleet_forwarded|fleet_fallback|fleet_owner)"' || true
+
+echo "fleet running; Ctrl-C to stop."
+wait

@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: the peer is trusted; calls flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: consecutive failures hit the threshold; calls are refused
+	// until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one trial call is let
+	// through. Success closes the breaker, failure reopens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-peer circuit breaker: closed → open after `threshold`
+// consecutive failures → half-open after `cooldown` (one trial call) →
+// closed on trial success, reopened on trial failure. The health prober can
+// also close it directly via reset when the peer's /v1/readyz recovers.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int // consecutive
+	openedAt time.Time
+	probing  bool // the half-open trial call is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// ready reports whether the breaker would admit a call right now, without
+// claiming the half-open trial slot — the routing layer's view of "is this
+// peer eligible for the live ring".
+func (b *breaker) ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return b.now().Sub(b.openedAt) >= b.cooldown
+	default: // half-open
+		return !b.probing
+	}
+}
+
+// allow claims admission for one call: always true when closed; when open
+// past the cooldown it transitions to half-open and grants the single trial
+// slot; otherwise false.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a successful call, closing the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// failure records a failed call: a failed half-open trial reopens
+// immediately; in closed state the consecutive-failure count must reach the
+// threshold first.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	}
+}
+
+// reset closes the breaker from outside the call path (the health prober saw
+// the peer ready again).
+func (b *breaker) reset() {
+	b.success()
+}
+
+// current returns the breaker's state for stats, surfacing an elapsed
+// cooldown as half-open (the next call would be admitted as a trial).
+func (b *breaker) current() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}

@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker through its cooldown without sleeping.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerOpensAtThresholdOnly(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := newBreaker(3, time.Second, clk.Now)
+	b.failure()
+	b.failure()
+	if got := b.current(); got != BreakerClosed {
+		t.Fatalf("after 2 of 3 failures: %v, want closed", got)
+	}
+	if !b.allow() || !b.ready() {
+		t.Fatal("closed breaker must admit calls")
+	}
+	// A success resets the consecutive count: two more failures still do not
+	// open it.
+	b.success()
+	b.failure()
+	b.failure()
+	if got := b.current(); got != BreakerClosed {
+		t.Fatalf("consecutive count not reset by success: %v", got)
+	}
+	b.failure()
+	if got := b.current(); got != BreakerOpen {
+		t.Fatalf("after 3 consecutive failures: %v, want open", got)
+	}
+	if b.allow() || b.ready() {
+		t.Fatal("open breaker must refuse calls during cooldown")
+	}
+}
+
+func TestBreakerHalfOpenSingleTrialThenClose(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := newBreaker(1, time.Second, clk.Now)
+	b.failure()
+	if b.allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+	clk.Advance(time.Second)
+	if got := b.current(); got != BreakerHalfOpen {
+		t.Fatalf("after cooldown: %v, want half-open surfaced", got)
+	}
+	if !b.allow() {
+		t.Fatal("cooldown elapsed: the trial call must be admitted")
+	}
+	// Exactly one trial: a second concurrent call is refused while the
+	// trial is in flight.
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second call during the trial")
+	}
+	b.success()
+	if got := b.current(); got != BreakerClosed {
+		t.Fatalf("after trial success: %v, want closed", got)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker must admit calls")
+	}
+}
+
+func TestBreakerHalfOpenTrialFailureReopens(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := newBreaker(3, time.Second, clk.Now)
+	for i := 0; i < 3; i++ {
+		b.failure()
+	}
+	clk.Advance(time.Second)
+	if !b.allow() {
+		t.Fatal("trial call refused")
+	}
+	// One failed trial reopens immediately — no need to re-accumulate the
+	// threshold against a peer already known sick.
+	b.failure()
+	if got := b.current(); got != BreakerOpen {
+		t.Fatalf("after failed trial: %v, want open", got)
+	}
+	if b.allow() {
+		t.Fatal("reopened breaker admitted a call without a fresh cooldown")
+	}
+	clk.Advance(time.Second)
+	if !b.allow() {
+		t.Fatal("second cooldown elapsed: trial must be admitted again")
+	}
+}
+
+func TestBreakerProberReset(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := newBreaker(1, time.Hour, clk.Now)
+	b.failure()
+	if b.ready() {
+		t.Fatal("open breaker reported ready")
+	}
+	b.reset()
+	if got := b.current(); got != BreakerClosed {
+		t.Fatalf("after prober reset: %v, want closed", got)
+	}
+	if !b.ready() || !b.allow() {
+		t.Fatal("reset breaker must admit calls")
+	}
+}

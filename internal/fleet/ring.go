@@ -1,0 +1,42 @@
+// Rendezvous (highest-random-weight) hashing assigns every solve fingerprint
+// an owner among the fleet members. HRW needs no token ring or coordination
+// state: each member's claim on a key is a hash of (member, key), and the
+// highest claim wins. Removing a member only remaps the keys that member
+// owned — every other key keeps its owner — which is exactly the minimal
+// disruption a cache-owning fleet wants when a peer dies.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"pase/internal/canon"
+)
+
+// score is member's claim on fp: the first 8 bytes of
+// SHA-256(len(member) ‖ member ‖ fp) as a big-endian uint64. The length
+// prefix keeps distinct member lists from colliding by concatenation.
+func score(member string, fp canon.Fingerprint) uint64 {
+	h := sha256.New()
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(member)))
+	h.Write(lenBuf[:])
+	h.Write([]byte(member))
+	h.Write(fp[:])
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0]))
+}
+
+// RendezvousOwner returns the member with the highest claim on fp, breaking
+// exact score ties by the lexicographically smallest member id so the result
+// is deterministic for any ordering of members. Empty input returns "".
+func RendezvousOwner(members []string, fp canon.Fingerprint) string {
+	owner, best := "", uint64(0)
+	for _, m := range members {
+		s := score(m, fp)
+		if owner == "" || s > best || (s == best && m < owner) {
+			owner, best = m, s
+		}
+	}
+	return owner
+}

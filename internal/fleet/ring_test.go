@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"testing"
+
+	"pase/internal/canon"
+)
+
+// fpN builds a distinct synthetic fingerprint per index — ownership tests
+// only need distinct keys, not real canonical hashes.
+func fpN(i int) canon.Fingerprint {
+	var fp canon.Fingerprint
+	fp[0], fp[1], fp[2], fp[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+	return fp
+}
+
+var ringMembers = []string{
+	"http://10.0.0.1:8555",
+	"http://10.0.0.2:8555",
+	"http://10.0.0.3:8555",
+}
+
+func TestRendezvousOwnerDeterministicAcrossOrderings(t *testing.T) {
+	perms := [][]string{
+		{ringMembers[0], ringMembers[1], ringMembers[2]},
+		{ringMembers[2], ringMembers[0], ringMembers[1]},
+		{ringMembers[1], ringMembers[2], ringMembers[0]},
+	}
+	for i := 0; i < 200; i++ {
+		fp := fpN(i)
+		want := RendezvousOwner(perms[0], fp)
+		for _, p := range perms[1:] {
+			if got := RendezvousOwner(p, fp); got != want {
+				t.Fatalf("fp %d: owner depends on member order: %q vs %q", i, got, want)
+			}
+		}
+	}
+}
+
+func TestRendezvousOwnerBalance(t *testing.T) {
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[RendezvousOwner(ringMembers, fpN(i))]++
+	}
+	for _, m := range ringMembers {
+		// Perfect balance is n/3 = 1000; a member below half that means the
+		// hash is badly skewed, not unlucky.
+		if counts[m] < n/6 {
+			t.Fatalf("member %s owns only %d of %d keys: %v", m, counts[m], n, counts)
+		}
+	}
+}
+
+// TestRendezvousMinimalDisruption is HRW's reason to exist: removing a
+// member must remap ONLY the keys that member owned.
+func TestRendezvousMinimalDisruption(t *testing.T) {
+	removed := ringMembers[1]
+	survivors := []string{ringMembers[0], ringMembers[2]}
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		fp := fpN(i)
+		before := RendezvousOwner(ringMembers, fp)
+		after := RendezvousOwner(survivors, fp)
+		if before != removed && after != before {
+			t.Fatalf("fp %d: owner %q changed to %q though %q was the member removed", i, before, after, removed)
+		}
+		if before == removed {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys out of 2000 — balance test should have caught this")
+	}
+}
+
+func TestRendezvousOwnerEmpty(t *testing.T) {
+	if got := RendezvousOwner(nil, fpN(1)); got != "" {
+		t.Fatalf("owner of empty member set = %q, want empty", got)
+	}
+}

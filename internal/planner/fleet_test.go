@@ -1,0 +1,145 @@
+package planner
+
+import (
+	"context"
+	"testing"
+)
+
+// TestFleetFallbackResultNeverCached: a request marked FleetFallback (solved
+// locally because the owning peer was unreachable) must answer correctly but
+// leave no cache entry — when the fleet heals, the owner's LRU stays the
+// cluster's single home for the fingerprint.
+func TestFleetFallbackResultNeverCached(t *testing.T) {
+	p := New(Config{})
+	ctx := context.Background()
+
+	req := alexReq(8)
+	req.FleetFallback = true
+	res, err := p.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FleetFallback || res.Cached {
+		t.Fatalf("fallback solve: FleetFallback=%v Cached=%v, want true/false", res.FleetFallback, res.Cached)
+	}
+	if st := p.Stats(); st.FleetFallbacks != 1 || st.Solves != 1 {
+		t.Fatalf("stats %+v, want 1 fleet fallback, 1 solve", st)
+	}
+
+	// The same request without the marker must miss the cache and solve
+	// again — the fallback left nothing behind.
+	res2, err := p.Solve(ctx, alexReq(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cached || res2.FleetFallback {
+		t.Fatalf("post-fallback solve: Cached=%v FleetFallback=%v, want false/false", res2.Cached, res2.FleetFallback)
+	}
+	if res2.Cost != res.Cost {
+		t.Fatalf("fallback cost %g != owned cost %g (solves are deterministic)", res.Cost, res2.Cost)
+	}
+	if st := p.Stats(); st.Solves != 2 {
+		t.Fatalf("stats %+v, want the unmarked repeat to solve again", st)
+	}
+
+	// Normal caching resumes for the unmarked path.
+	res3, err := p.Solve(ctx, alexReq(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res3.Cached {
+		t.Fatal("third solve not cached: the unmarked solve must populate the LRU")
+	}
+	if st := p.Stats(); st.FleetFallbacks != 1 {
+		t.Fatalf("stats %+v, want the fallback counter untouched by normal solves", st)
+	}
+}
+
+// TestSolveFingerprintMatchesSolve: the pre-solve fingerprint the fleet
+// router hashes must equal the fingerprint Solve reports after the fact, for
+// every normalization path — otherwise owners disagree with their own cache
+// keys and the cluster dedups nothing.
+func TestSolveFingerprintMatchesSolve(t *testing.T) {
+	p := New(Config{DefaultBeamWidth: 8, DefaultPruneEpsilon: 0.05})
+	ctx := context.Background()
+	reqs := map[string]Request{
+		"default dp": alexReq(8),
+		"beam default width": func() Request {
+			r := alexReq(8)
+			r.Opts.Method = "beam"
+			return r
+		}(),
+		"beam explicit width": func() Request {
+			r := rnnReq(8)
+			r.Opts.Method = "beam"
+			r.Opts.BeamWidth = 4
+			return r
+		}(),
+		"beam unbounded rewrites to dp": func() Request {
+			r := alexReq(16)
+			r.Opts.Method = "beam"
+			r.Opts.BeamWidth = -1
+			return r
+		}(),
+		"prune epsilon default": func() Request {
+			r := rnnReq(16)
+			return r
+		}(),
+		"prune epsilon disabled": func() Request {
+			r := rnnReq(16)
+			r.Opts.PruneEpsilon = -1
+			return r
+		}(),
+	}
+	for name, req := range reqs {
+		fp, err := p.SolveFingerprint(req)
+		if err != nil {
+			t.Fatalf("%s: SolveFingerprint: %v", name, err)
+		}
+		res, err := p.Solve(ctx, req)
+		if err != nil {
+			t.Fatalf("%s: Solve: %v", name, err)
+		}
+		if got := fp.String(); got != res.Fingerprint {
+			t.Fatalf("%s: router fingerprint %s != solve fingerprint %s", name, got, res.Fingerprint)
+		}
+		if !p.HasLocal(fp) {
+			t.Fatalf("%s: HasLocal false right after solving the fingerprint", name)
+		}
+	}
+}
+
+// TestHasLocalMissAndPeek: unknown fingerprints report false, and the check
+// itself must not perturb LRU recency (it uses Peek, not Get).
+func TestHasLocalMissAndPeek(t *testing.T) {
+	p := New(Config{ResultCacheSize: 1})
+	ctx := context.Background()
+
+	fpB, err := p.SolveFingerprint(rnnReq(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.HasLocal(fpB) {
+		t.Fatal("HasLocal true before any solve")
+	}
+
+	// Fill the single-entry LRU with A, then probe A via HasLocal before
+	// inserting B: if HasLocal promoted, the probe would be observable —
+	// with Peek it is not, and B simply evicts A.
+	fpA, err := p.SolveFingerprint(alexReq(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Solve(ctx, alexReq(8)); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasLocal(fpA) {
+		t.Fatal("HasLocal false for the resident result")
+	}
+	if _, err := p.Solve(ctx, rnnReq(8)); err != nil {
+		t.Fatal(err)
+	}
+	if p.HasLocal(fpA) || !p.HasLocal(fpB) {
+		t.Fatalf("after eviction: HasLocal(A)=%v HasLocal(B)=%v, want false/true", p.HasLocal(fpA), p.HasLocal(fpB))
+	}
+}

@@ -263,6 +263,13 @@ type Result struct {
 	// its budget) or DegradeReasonPressure (transient — never cached).
 	Degraded      bool
 	DegradeReason string
+	// FleetFallback reports that this daemon solved a request another fleet
+	// member owns because that owner was unreachable (Request.FleetFallback).
+	// The answer is correct — solves are deterministic — but it is never
+	// cached here: peer health is transient state, and caching under the
+	// owner's identity would let a flapping peer populate shadow copies
+	// cluster-wide.
+	FleetFallback bool
 	// deadlineTruncated marks an anytime result whose refinement was cut
 	// short by the caller's deadline (or a late-pass budget hit): an
 	// identical request with more time could do better, so the planner
@@ -271,11 +278,13 @@ type Result struct {
 }
 
 // noCache reports that this result must not enter the result cache: it was
-// deadline-truncated (more time would refine it) or degraded under transient
+// deadline-truncated (more time would refine it), degraded under transient
 // queue pressure (the exact answer is still reachable once pressure
-// subsides). OOM-degraded results ARE cached — see DegradeReasonOOM.
+// subsides), or solved as a fleet fallback for an unreachable owner (the
+// owner's LRU is this fingerprint's home). OOM-degraded results ARE cached —
+// see DegradeReasonOOM.
 func (r *Result) noCache() bool {
-	return r.deadlineTruncated || r.DegradeReason == DegradeReasonPressure
+	return r.deadlineTruncated || r.DegradeReason == DegradeReasonPressure || r.FleetFallback
 }
 
 // clone returns an independent copy whose strategy the caller may mutate.
@@ -303,6 +312,12 @@ type Request struct {
 	Spec  machine.Spec
 	Opts  Options
 	Model *cost.Model
+	// FleetFallback marks a request this daemon is solving in place of an
+	// unreachable fleet owner: the result is served and marked but never
+	// cached (see Result.FleetFallback), and counted in
+	// Stats.FleetFallbacks. Not fingerprinted — the answer is identical
+	// either way.
+	FleetFallback bool
 }
 
 // BatchItem is one outcome of SolveBatch, aligned with the request slice.
@@ -536,6 +551,10 @@ type Stats struct {
 	// RestoredResults counts result-cache entries loaded from a warm-restart
 	// snapshot (Planner.LoadSnapshot).
 	RestoredResults int64 `json:"restored_results"`
+	// FleetFallbacks counts solves this planner ran in place of an
+	// unreachable fleet owner (Request.FleetFallback); their results are
+	// never cached here.
+	FleetFallbacks int64 `json:"fleet_fallbacks"`
 }
 
 // solveFlight is one in-flight underlying solve. waiters counts the callers
@@ -673,6 +692,75 @@ func Fingerprints(req Request) (modelFP, solveFP canon.Fingerprint) {
 	return modelFP, solveFP
 }
 
+// normalize resolves the planner-default-dependent options in place, exactly
+// as Solve fingerprints them. The effective epsilon: zero inherits the
+// planner default, negative explicitly opts out. The effective beam width the
+// same way — and an unbounded width means the beam IS the exact DP, so the
+// request is rewritten to "dp" (it shares the exact solve's fingerprint,
+// caches, and flights; the returned flag reports that rewrite so Solve can
+// count it in Stats.BeamFallbacks). Every other method has its beam knobs
+// cleared so they cannot perturb behavior (they are not fingerprinted anyway).
+func (p *Planner) normalize(opts *Options) (beamFallback bool) {
+	switch {
+	case opts.PruneEpsilon < 0:
+		opts.PruneEpsilon = 0
+	case opts.PruneEpsilon == 0 && p.cfg.DefaultPruneEpsilon > 0:
+		opts.PruneEpsilon = p.cfg.DefaultPruneEpsilon
+	}
+	if opts.method() == "beam" {
+		if opts.BeamWidth == 0 {
+			opts.BeamWidth = p.cfg.DefaultBeamWidth
+		}
+		if opts.BeamWidth <= 0 {
+			opts.Method = "dp"
+			opts.BeamWidth = 0
+			opts.GapTarget = 0
+			return true
+		}
+		if opts.GapTarget < 0 {
+			opts.GapTarget = -1
+		}
+		return false
+	}
+	opts.BeamWidth = 0
+	opts.GapTarget = 0
+	return false
+}
+
+// SolveFingerprint returns the canonical solve fingerprint Solve would cache
+// req under, after the same option normalization, without solving anything
+// and without touching any counter. It is the fleet layer's shard key: the
+// rendezvous ring hashes this fingerprint to pick the request's owner.
+// Request.Model solves bypass the caches and have no fingerprint.
+func (p *Planner) SolveFingerprint(req Request) (canon.Fingerprint, error) {
+	if req.Model != nil {
+		return canon.Fingerprint{}, errors.New("planner: Request.Model solves bypass the caches and have no fingerprint")
+	}
+	if req.G == nil {
+		return canon.Fingerprint{}, errors.New("planner: nil graph")
+	}
+	if err := ValidateMethod(req.Opts.Method); err != nil {
+		return canon.Fingerprint{}, err
+	}
+	p.normalize(&req.Opts)
+	_, solveFP := Fingerprints(req)
+	return solveFP, nil
+}
+
+// HasLocal reports whether fp is already answerable from this planner
+// without new work: a cached result or an in-flight identical solve. The
+// fleet layer uses it to skip forwarding — results are deterministic, so a
+// local copy is always as good as the owner's.
+func (p *Planner) HasLocal(fp canon.Fingerprint) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.results.Peek(fp); ok {
+		return true
+	}
+	_, ok := p.solveFlights[fp]
+	return ok
+}
+
 // Find solves (g, spec, opts) without cancellation.
 //
 // Deprecated: Find is the pre-context entry point, kept as a thin wrapper.
@@ -719,38 +807,10 @@ func (p *Planner) Solve(ctx context.Context, req Request) (*Result, error) {
 	if req.G == nil {
 		return nil, errors.New("planner: nil graph")
 	}
-	// Resolve the effective epsilon before fingerprinting, so the cache key
-	// reflects what the model build will actually do: zero inherits the
-	// planner default, negative explicitly opts out of it.
-	switch {
-	case req.Opts.PruneEpsilon < 0:
-		req.Opts.PruneEpsilon = 0
-	case req.Opts.PruneEpsilon == 0 && p.cfg.DefaultPruneEpsilon > 0:
-		req.Opts.PruneEpsilon = p.cfg.DefaultPruneEpsilon
-	}
-	// Resolve the effective beam width the same way: zero inherits the
-	// planner default, and an unbounded width means the beam IS the exact
-	// DP, so the request is rewritten to "dp" — it shares the exact solve's
-	// fingerprint, caches, and flights, and default identities stay stable.
-	if req.Opts.method() == "beam" {
-		if req.Opts.BeamWidth == 0 {
-			req.Opts.BeamWidth = p.cfg.DefaultBeamWidth
-		}
-		if req.Opts.BeamWidth <= 0 {
-			req.Opts.Method = "dp"
-			req.Opts.BeamWidth = 0
-			req.Opts.GapTarget = 0
-			p.mu.Lock()
-			p.stats.BeamFallbacks++
-			p.mu.Unlock()
-		} else if req.Opts.GapTarget < 0 {
-			req.Opts.GapTarget = -1
-		}
-	} else {
-		// The beam knobs are ignored by every other method; clear them so
-		// they cannot perturb behavior (they are not fingerprinted anyway).
-		req.Opts.BeamWidth = 0
-		req.Opts.GapTarget = 0
+	if p.normalize(&req.Opts) {
+		p.mu.Lock()
+		p.stats.BeamFallbacks++
+		p.mu.Unlock()
 	}
 	modelFP, solveFP := Fingerprints(req)
 
@@ -814,6 +874,9 @@ func (p *Planner) Solve(ctx context.Context, req Request) (*Result, error) {
 		return p.waitSolve(ctx, solveFP, fl, start, false)
 	}
 	p.stats.ResultMisses++
+	if req.FleetFallback {
+		p.stats.FleetFallbacks++
+	}
 	flightCtx, cancel := context.WithCancelCause(context.Background())
 	fl := &solveFlight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	p.solveFlights[solveFP] = fl
@@ -977,6 +1040,7 @@ func (p *Planner) doSolve(ctx context.Context, req Request, modelFP, solveFP can
 	p.mu.Unlock()
 	res.Method = method
 	res.Fingerprint = solveFP.String()
+	res.FleetFallback = req.FleetFallback
 	return res, nil
 }
 

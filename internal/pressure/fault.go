@@ -2,6 +2,7 @@ package pressure
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -23,9 +24,17 @@ const (
 	SiteDP = "dp"
 	// SiteModel fires at the start of every cost-model build.
 	SiteModel = "model"
+	// SitePeer fires before every fleet peer call attempt — the site for
+	// exercising slow, erroring, and dead peers deterministically.
+	SitePeer = "peer"
 )
 
-var faultSites = []string{SiteDP, SiteModel, SiteSolve}
+var faultSites = []string{SiteDP, SiteModel, SitePeer, SiteSolve}
+
+// ErrInjected marks an error manufactured by a FaultPlan (the "error" and
+// "drop" kinds) rather than observed from a real dependency, so tests can
+// assert the failure path they exercised was the injected one.
+var ErrInjected = errors.New("pressure: injected failure")
 
 // FaultKind is what an injected fault does when it fires.
 type FaultKind int
@@ -40,6 +49,12 @@ const (
 	// FaultLatency sleeps for the configured delay (respecting the request
 	// context), then lets the operation proceed.
 	FaultLatency
+	// FaultError returns an error wrapping ErrInjected, as a peer answering
+	// 5xx would surface to the fleet client.
+	FaultError
+	// FaultDrop returns an error wrapping ErrInjected shaped like a refused
+	// connection — the immediate failure a SIGKILLed peer produces.
+	FaultDrop
 )
 
 func (k FaultKind) String() string {
@@ -50,6 +65,10 @@ func (k FaultKind) String() string {
 		return "panic"
 	case FaultLatency:
 		return "latency"
+	case FaultError:
+		return "error"
+	case FaultDrop:
+		return "drop"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
@@ -91,15 +110,17 @@ type FaultPlan struct {
 //
 //	site:kind[:arg]
 //
-// with site one of "solve", "dp", "model"; kind one of "oom", "panic"
-// (optional arg: how many times to fire, default every time), or "latency"
-// (required arg: a sleep duration such as 500ms, optionally followed by
-// :count). Examples:
+// with site one of "solve", "dp", "model", "peer"; kind one of "oom",
+// "panic", "error", "drop" (optional arg: how many times to fire, default
+// every time), or "latency" (required arg: a sleep duration such as 500ms,
+// optionally followed by :count). Examples:
 //
 //	dp:oom:1                — the first exact-DP solve hits ErrOOM
 //	solve:panic:2           — the first two solves panic
 //	dp:latency:800ms        — every exact-DP solve takes an extra 800ms
 //	dp:latency:800ms:3      — ... the first three only
+//	peer:error:1            — the first peer call attempt fails (as a 5xx would)
+//	peer:drop               — every peer call attempt fails like a dead peer
 //
 // An empty spec returns (nil, nil).
 func ParseFaultPlan(spec string) (*FaultPlan, error) {
@@ -137,6 +158,22 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 			if len(parts) == 3 {
 				countArg = parts[2]
 			}
+		case "error":
+			f.kind = FaultError
+			if len(parts) > 3 {
+				return nil, fmt.Errorf("pressure: fault %q: want site:error[:count]", entry)
+			}
+			if len(parts) == 3 {
+				countArg = parts[2]
+			}
+		case "drop":
+			f.kind = FaultDrop
+			if len(parts) > 3 {
+				return nil, fmt.Errorf("pressure: fault %q: want site:drop[:count]", entry)
+			}
+			if len(parts) == 3 {
+				countArg = parts[2]
+			}
 		case "latency":
 			f.kind = FaultLatency
 			if len(parts) < 3 || len(parts) > 4 {
@@ -151,7 +188,7 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 				countArg = parts[3]
 			}
 		default:
-			return nil, fmt.Errorf("pressure: fault %q: unknown kind %q (want oom, panic, or latency)", entry, parts[1])
+			return nil, fmt.Errorf("pressure: fault %q: unknown kind %q (want oom, panic, latency, error, or drop)", entry, parts[1])
 		}
 		if countArg != "" {
 			n, err := strconv.Atoi(countArg)
@@ -184,8 +221,9 @@ func (p *FaultPlan) String() string {
 
 // Fire triggers the plan's faults armed at site, in spec order: latency
 // faults sleep (aborting early on ctx) and fall through; an oom fault
-// returns an error wrapping core.ErrOOM; a panic fault panics. A nil plan,
-// an unknown site, and exhausted counts all return nil.
+// returns an error wrapping core.ErrOOM; error and drop faults return an
+// error wrapping ErrInjected; a panic fault panics. A nil plan, an unknown
+// site, and exhausted counts all return nil.
 func (p *FaultPlan) Fire(ctx context.Context, site string) error {
 	if p == nil {
 		return nil
@@ -205,6 +243,10 @@ func (p *FaultPlan) Fire(ctx context.Context, site string) error {
 			}
 		case FaultOOM:
 			return fmt.Errorf("pressure: injected fault at site %q: %w", site, core.ErrOOM)
+		case FaultError:
+			return fmt.Errorf("pressure: fault at site %q: peer answered with a server error: %w", site, ErrInjected)
+		case FaultDrop:
+			return fmt.Errorf("pressure: fault at site %q: connection refused: %w", site, ErrInjected)
 		case FaultPanic:
 			panic(fmt.Sprintf("pressure: injected panic at site %q", site))
 		}

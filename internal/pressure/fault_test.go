@@ -22,6 +22,10 @@ func TestFaultPlanParseErrors(t *testing.T) {
 		"dp:oom:1:2",         // too many args
 		"solve:latency:1s:0", // bad count
 		"dp:latency:1s:2:3",  // too many args
+		"peer:error:0",       // count must be >= 1
+		"peer:error:1:2",     // too many args
+		"peer:drop:oops",     // bad count
+		"peer:drop:1:2",      // too many args
 	} {
 		if _, err := ParseFaultPlan(spec); err == nil {
 			t.Errorf("ParseFaultPlan(%q): want error", spec)
@@ -72,6 +76,38 @@ func TestFaultPlanPanic(t *testing.T) {
 	}()
 	if err := p.Fire(context.Background(), SiteSolve); err != nil {
 		t.Fatalf("exhausted panic fault: %v", err)
+	}
+}
+
+// TestFaultPlanPeerErrorAndDrop: the peer-site kinds wrap ErrInjected so the
+// fleet client's tests can tell injected failures from real ones, and their
+// counts disarm like every other kind's.
+func TestFaultPlanPeerErrorAndDrop(t *testing.T) {
+	ctx := context.Background()
+	p, err := ParseFaultPlan("peer:error:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fire(ctx, SitePeer); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed error fault: want ErrInjected, got %v", err)
+	}
+	if err := p.Fire(ctx, SitePeer); err != nil {
+		t.Fatalf("exhausted error fault still fires: %v", err)
+	}
+
+	p, err = ParseFaultPlan("peer:drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No count: fires every time.
+	for i := 0; i < 3; i++ {
+		if err := p.Fire(ctx, SitePeer); !errors.Is(err, ErrInjected) {
+			t.Fatalf("fire %d: want ErrInjected, got %v", i, err)
+		}
+	}
+	// The peer site does not leak into the solve pipeline's sites.
+	if err := p.Fire(ctx, SiteSolve); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
 	}
 }
 

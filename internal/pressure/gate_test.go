@@ -3,6 +3,7 @@ package pressure
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -180,6 +181,72 @@ func TestGateConcurrentChurn(t *testing.T) {
 	}
 	if int(st.Shed) != shed || admitted+shed != 64 {
 		t.Fatalf("admitted=%d shed=%d stats=%+v", admitted, shed, st)
+	}
+}
+
+// TestGateCancelStormUnderContention is the lost-slot hunt: hundreds of
+// waiters racing admission against cancellation, so cancels land in every
+// interesting interleaving — before queueing, while queued, and in the window
+// where a Release is handing the slot to the waiter being cancelled. The gate
+// must come out of the storm with every slot recoverable and no goroutines
+// left behind.
+func TestGateCancelStormUnderContention(t *testing.T) {
+	g := NewGate(GateConfig{MaxInFlight: 4, MaxQueue: 64})
+	baseline := runtime.NumGoroutine()
+
+	const n = 500
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i%2 == 0 {
+				// Half the load cancels on a fuse short enough to fire while
+				// queued (holders sleep longer than the fuse).
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(i%5)*100*time.Microsecond)
+				defer cancel()
+			}
+			_, err := g.Acquire(ctx, i%3)
+			switch {
+			case err == nil:
+				time.Sleep(200 * time.Microsecond)
+				g.Release()
+			case errors.Is(err, ErrShed), errors.Is(err, context.DeadlineExceeded):
+				// Both are clean exits; neither may consume a slot.
+			default:
+				t.Errorf("acquire %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Every slot must be recoverable: 4 immediate acquires succeed with an
+	// empty queue.
+	st := g.Stats()
+	if st.InFlight != 0 || st.QueueDepth != 0 {
+		t.Fatalf("gate not idle after the storm: %+v", st)
+	}
+	for i := 0; i < 4; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		depth, err := g.Acquire(ctx, 0)
+		cancel()
+		if err != nil || depth != 0 {
+			t.Fatalf("slot %d lost to the storm: depth=%d err=%v", i, depth, err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		g.Release()
+	}
+
+	// No leaked waiter goroutines once the storm subsides.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -90,10 +90,20 @@
 //
 // The same planner powers cmd/pased, an HTTP JSON daemon serving
 // POST /v1/solve, POST /v1/batch, POST /v1/compare, GET /v1/healthz,
-// GET /v1/readyz, and GET /v1/stats, with every solve tied to its request's
-// context, structured error codes (shed → 429, oom → 503, timeout → 504),
-// and optional warm-restart snapshots (Planner.SaveSnapshot/LoadSnapshot)
-// that persist the result cache and class store across restarts.
+// GET /v1/readyz, GET /v1/stats, and GET /metrics (Prometheus text format),
+// with every solve tied to its request's context, structured error codes
+// (shed → 429, oom → 503, timeout → 504), and optional warm-restart
+// snapshots (Planner.SaveSnapshot/LoadSnapshot) that persist the result
+// cache and class store across restarts.
+//
+// Several pased daemons become one logical planner with -peers/-advertise:
+// rendezvous hashing over the canonical solve fingerprints assigns every
+// solve an owning member, non-owners forward to the owner (bounded jittered
+// retries, per-peer circuit breakers, background health probing), and when
+// the owner is unreachable the receiving daemon solves locally, marking the
+// response "fleet_fallback" — a dead member costs cache efficiency, never
+// availability. See examples/fleet for a ready-to-run three-node fleet
+// (docker-compose.yml, or run.sh for three local processes).
 //
 // Models that are not registry benchmarks enter through the declarative
 // ingestion pipeline: a versioned JSON document ("pase-graph/v1") describing
@@ -127,6 +137,7 @@ import (
 	"time"
 
 	"pase/internal/assign"
+	"pase/internal/canon"
 	"pase/internal/core"
 	"pase/internal/cost"
 	"pase/internal/export"
@@ -284,6 +295,10 @@ type PlannerStats = planner.Stats
 // Method), and optionally a prebuilt Model (which bypasses the planner's
 // caches — see planner.Request for the contract).
 type SolveRequest = planner.Request
+
+// Fingerprint is a canonical SHA-256 request fingerprint — the planner's
+// cache key (Planner.SolveFingerprint) and the fleet layer's shard key.
+type Fingerprint = canon.Fingerprint
 
 // BatchItem is one outcome of Planner.SolveBatch.
 type BatchItem = planner.BatchItem
